@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", true, 1); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunSyntheticQuick(t *testing.T) {
+	if err := run("synthetic", true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTPCEQuick(t *testing.T) {
+	if err := run("tpce", true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSweep(t *testing.T) {
+	got := partitionSweep(128)
+	if got[0] != 2 || got[len(got)-1] != 128 {
+		t.Errorf("sweep = %v", got)
+	}
+	got = partitionSweep(100)
+	if got[len(got)-1] != 100 {
+		t.Errorf("sweep = %v", got)
+	}
+}
+
+func TestIsReadOnlyTPCE(t *testing.T) {
+	if isReadOnlyTPCE("BROKER") || !isReadOnlyTPCE("CUSTOMER") {
+		t.Error("read-only classification wrong")
+	}
+}

@@ -1,0 +1,148 @@
+// Command jecb partitions a benchmark database with JECB, Schism, or
+// Horticulture and reports the resulting solution and its cost.
+//
+// Usage:
+//
+//	jecb -benchmark tpce -algo jecb -k 8 -txns 4000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/horticulture"
+	"repro/internal/partition"
+	"repro/internal/schism"
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		algo      = flag.String("algo", "jecb", "partitioner: jecb, schism, horticulture")
+		k         = flag.Int("k", 8, "number of partitions")
+		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		txns      = flag.Int("txns", 4000, "transactions to trace")
+		trainFrac = flag.Float64("train", 0.5, "training fraction of the trace")
+		seed      = flag.Int64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "print the full report")
+		out       = flag.String("out", "", "write the solution as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "jecb:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "jecb:", err)
+			os.Exit(1)
+		}
+		fmt.Println("solution written to", *out)
+	}
+}
+
+// lastSolution holds the most recent run's solution for -out.
+var lastSolution *partition.Solution
+
+// save writes the last computed solution as JSON.
+func save(path string) error {
+	if lastSolution == nil {
+		return fmt.Errorf("no solution to save")
+	}
+	data, err := json.MarshalIndent(lastSolution, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func run(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool) error {
+	b, ok := workloads.Get(benchmark)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
+	}
+	fmt.Printf("loading %s (scale %d) ...\n", benchmark, effectiveScale(b, scale))
+	d, err := b.Load(workloads.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d rows across %d tables\n", d.TotalRows(), len(d.Schema().Tables()))
+	full := workloads.GenerateTrace(b, d, txns, seed+1)
+	train, test := full.TrainTest(trainFrac, rand.New(rand.NewSource(seed+2)))
+	fmt.Printf("  trace: %d train / %d test transactions\n", train.Len(), test.Len())
+
+	var sol *partition.Solution
+	switch algo {
+	case "jecb":
+		res, measureErr := eval.Measure(func() error {
+			var rep *core.Report
+			var err error
+			sol, rep, err = core.Partition(core.Input{
+				DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+			}, core.Options{K: k, Seed: seed})
+			if err == nil && verbose {
+				fmt.Println(rep.String())
+			}
+			return err
+		})
+		if measureErr != nil {
+			return measureErr
+		}
+		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+	case "schism":
+		var st *schism.Stats
+		res, measureErr := eval.Measure(func() error {
+			var err error
+			sol, st, err = schism.Partition(schism.Input{DB: d, Train: train},
+				schism.Options{K: k, Seed: seed})
+			return err
+		})
+		if measureErr != nil {
+			return measureErr
+		}
+		fmt.Printf("  tuple graph: %d nodes, %d edges, cut %.0f\n", st.GraphNodes, st.GraphEdges, st.EdgeCut)
+		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+	case "horticulture":
+		res, measureErr := eval.Measure(func() error {
+			var err error
+			sol, err = horticulture.Search(horticulture.Input{DB: d, Train: train},
+				horticulture.Options{K: k, Seed: seed})
+			return err
+		})
+		if measureErr != nil {
+			return measureErr
+		}
+		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	lastSolution = sol
+	if verbose {
+		fmt.Println(sol.String())
+	}
+	r, err := eval.Evaluate(d, sol, test)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.String())
+	for _, c := range r.Classes() {
+		fmt.Printf("  %-26s %6.1f%% distributed (%d/%d)\n", c.Class, 100*c.Cost(), c.Distributed, c.Total)
+	}
+	return nil
+}
+
+func effectiveScale(b workloads.Benchmark, scale int) int {
+	if scale == 0 {
+		return b.DefaultScale()
+	}
+	return scale
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"jecb", "schism", "horticulture"} {
+		if err := run("tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb"); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "jecb", 4, 0, 100, 0.5, 1, false); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if err := run("tatp", "nope", 4, 100, 100, 0.5, 1, false); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestEffectiveScale(t *testing.T) {
+	// Covered implicitly by TestRunAllAlgorithms; check the default path.
+	if err := run("synthetic", "jecb", 2, 0, 200, 0.5, 1, false); err != nil {
+		t.Errorf("default scale: %v", err)
+	}
+}
+
+func TestSaveSolution(t *testing.T) {
+	if err := run("tatp", "jecb", 2, 50, 200, 0.5, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sol.json")
+	if err := save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sol partition.Solution
+	if err := json.Unmarshal(data, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.K != 2 || sol.Table("SUBSCRIBER") == nil {
+		t.Errorf("reloaded solution = %+v", sol)
+	}
+	lastSolution = nil
+	if err := save(path); err == nil {
+		t.Error("save without solution must error")
+	}
+}

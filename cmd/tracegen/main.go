@@ -1,0 +1,58 @@
+// Command tracegen generates a workload trace for a benchmark and writes
+// it as JSON lines, the trace format internal/trace reads back.
+//
+// Usage:
+//
+//	tracegen -benchmark tpcc -scale 32 -txns 10000 -out tpcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		txns      = flag.Int("txns", 10000, "transactions to generate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*benchmark, *scale, *txns, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchmark string, scale, txns int, seed int64, out string) error {
+	b, ok := workloads.Get(benchmark)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
+	}
+	d, err := b.Load(workloads.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	tr := workloads.GenerateTrace(b, d, txns, seed+1)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := tr.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d transactions (%d classes)\n", tr.Len(), len(tr.Classes()))
+	return nil
+}

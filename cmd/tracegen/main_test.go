@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesReadableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	if err := run("tatp", 100, 250, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 250 {
+		t.Errorf("trace len = %d", tr.Len())
+	}
+	if len(tr.Classes()) < 5 {
+		t.Errorf("classes = %v", tr.Classes())
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run("nope", 0, 10, 1, ""); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "JECB: a
+// Join-Extension, Code-Based Approach to OLTP Data Partitioning" (Tran,
+// Naughton, Sundarmurthy, Tsirogiannis — SIGMOD 2014).
+//
+// The library implements the JECB partitioner (internal/core), the Schism
+// and Horticulture baselines (internal/schism, internal/horticulture),
+// every substrate they need — SQL analysis, an in-memory relational
+// engine, trace collection, a min-cut graph partitioner, a transaction
+// router — and the five OLTP benchmarks of the paper's evaluation plus
+// the §7.6 synthetic workload (internal/workloads/...).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. bench_test.go in this
+// directory regenerates every table and figure as a testing.B benchmark.
+package repro

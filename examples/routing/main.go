@@ -1,0 +1,84 @@
+// Example routing shows the runtime half of the story (§3's closing
+// discussion): after JECB partitions TATP by subscriber id, the router
+// picks a routing parameter for every transaction class and sends each
+// invocation to exactly one partition — falling back to broadcast only
+// when no compatible routing attribute exists.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func main() {
+	b, _ := workloads.Get("tatp")
+	d, err := b.Load(workloads.Config{Scale: 500, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, 3000, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+
+	sol, _, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("JECB solution for TATP (k=4):")
+	fmt.Println(sol.String())
+
+	// Build the router from the same code analysis JECB used.
+	var analyses []*sqlparse.Analysis
+	for _, proc := range workloads.Procedures(b) {
+		a, err := sqlparse.Analyze(proc, d.Schema())
+		if err != nil {
+			log.Fatal(err)
+		}
+		analyses = append(analyses, a)
+	}
+	rt, err := router.New(d, sol, analyses)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("routing attributes per class:")
+	for _, proc := range workloads.Procedures(b) {
+		param := rt.RoutingParam(proc.Name)
+		if param == "" {
+			param = "(broadcast)"
+		}
+		fmt.Printf("  %-22s routes on %s\n", proc.Name, param)
+	}
+
+	// Route a few live invocations.
+	fmt.Println("\nsample routings:")
+	for _, sid := range []int64{1, 77, 499} {
+		parts := rt.Route("GetSubscriberData", map[string]value.Value{
+			"s_id": value.NewInt(sid),
+		})
+		fmt.Printf("  GetSubscriberData(s_id=%d) -> partitions %v\n", sid, parts)
+	}
+	// UpdateLocation routes on the textual subscriber number.
+	parts := rt.Route("UpdateLocation", map[string]value.Value{
+		"sub_nbr": value.NewString(fmt.Sprintf("%015d", 42)),
+	})
+	fmt.Printf("  UpdateLocation(sub_nbr=...42) -> partitions %v\n", parts)
+
+	// Count single-partition routings over the test trace.
+	single := 0
+	for _, txn := range test.Txns {
+		if len(rt.Route(txn.Class, txn.Params)) == 1 {
+			single++
+		}
+	}
+	fmt.Printf("\n%d/%d test invocations route to a single partition\n", single, test.Len())
+}

@@ -1,0 +1,66 @@
+// Example tpce reproduces the paper's TPC-E deep dive (§7.5) at a small
+// scale: it loads the 33-table brokerage database, runs JECB, and prints
+// the Table 3 per-class solutions, the Table 4 placements, and the
+// Figure 8 per-class cost profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func main() {
+	b, _ := workloads.Get("tpce")
+	d, err := b.Load(workloads.Config{Scale: 200, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-E: %d tables, %d rows\n", len(d.Schema().Tables()), d.TotalRows())
+
+	full := workloads.GenerateTrace(b, d, 4000, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+
+	sol, rep, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nTable 3 — per-class solutions found by JECB:")
+	for _, row := range rep.Table3() {
+		fmt.Printf("  %-24s mix=%5.1f%%  total=%-22s partial=%s\n",
+			row.Class, 100*row.Mix, row.Total, row.Partial)
+	}
+	fmt.Printf("\nExample 10: %d combinations unpruned; %d evaluated over %v; winner %s\n",
+		rep.UnprunedSpace, rep.CombosEvaluated, rep.CandidateAttributes, rep.ChosenAttribute)
+
+	fmt.Println("\nTable 4 — placements of the ten brokerage tables:")
+	for _, row := range rep.Table4() {
+		if tenBrokerageTables[row.Table] {
+			fmt.Printf("  %-18s %s\n", row.Table, row.Solution)
+		}
+	}
+
+	r, err := eval.Evaluate(d, sol, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 8 — per-class distributed fractions (overall %s):\n", r)
+	for _, c := range r.Classes() {
+		fmt.Printf("  %-24s %6.1f%%\n", c.Class, 100*c.Cost())
+	}
+}
+
+var tenBrokerageTables = map[string]bool{
+	"BROKER": true, "CUSTOMER_ACCOUNT": true, "TRADE": true,
+	"TRADE_HISTORY": true, "TRADE_REQUEST": true, "SETTLEMENT": true,
+	"CASH_TRANSACTION": true, "HOLDING": true, "HOLDING_HISTORY": true,
+	"HOLDING_SUMMARY": true,
+}

@@ -1,0 +1,144 @@
+// Package core implements JECB, the paper's contribution: a join-extension,
+// code-based OLTP data partitioner. Given a database (schema + data), the
+// SQL source of the workload's stored procedures, and a workload trace, it
+// produces a partitioning solution minimizing the fraction of distributed
+// transactions.
+//
+// The three phases follow the paper:
+//
+//   - Phase 1 (phase1.go): pre-processing — identify read-only/read-mostly
+//     tables to replicate and split the trace into per-class streams (§4).
+//   - Phase 2 (phase2.go): per transaction class, build the join graph from
+//     the SQL code, enumerate join trees, and keep mapping-independent
+//     total and partial solutions (Definitions 3–9, §5); fall back to a
+//     statistics-based min-cut mapping when no mapping-independent total
+//     solution exists (§5.3).
+//   - Phase 3 (phase3.go): combine per-class solutions into a global
+//     solution using attribute/path/solution compatibility (Definitions
+//     12–14) and the compatible-attribute search heuristic (§6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/partition"
+	"repro/internal/sqlparse"
+	"repro/internal/trace"
+)
+
+// Options configures a JECB run.
+type Options struct {
+	// K is the number of partitions.
+	K int
+	// ReadMostlyThreshold replicates tables written by fewer than this
+	// fraction of training transactions (Phase 1; default 0.015).
+	ReadMostlyThreshold float64
+	// MaxTreesPerRoot caps join-tree enumeration per class and root
+	// (default 32); the unpruned TPC-E space is ~2.6M combinations.
+	MaxTreesPerRoot int
+	// MaxCombos caps Phase 3 combination enumeration per attribute
+	// (default 256).
+	MaxCombos int
+	// MITolerance accepts a join tree as a total solution when all but
+	// this fraction of the class's transactions map to a single root
+	// value (default 0.25). Exact mapping independence is the fraction-1
+	// case; the tolerance admits workloads like TPC-C whose sanctioned
+	// remote accesses leave a small multi-valued residue.
+	MITolerance float64
+	// Seed drives the deterministic pieces that need randomness (min-cut
+	// seeding, train/test splits made internally).
+	Seed int64
+
+	// IntraTableOnly is an ablation switch: consider only attributes of
+	// the partitioned table itself (join paths of at most one projection
+	// hop), disabling join extension.
+	IntraTableOnly bool
+	// KeepAllTrees is an ablation switch: skip compatible-tree merging in
+	// Phase 2 (Definition 9), keeping every mapping-independent tree.
+	KeepAllTrees bool
+	// DisableMinCutFallback turns off the §5.3 statistics-based mapping
+	// (classes without mapping-independent solutions become
+	// non-partitionable immediately).
+	DisableMinCutFallback bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadMostlyThreshold <= 0 {
+		o.ReadMostlyThreshold = 0.015
+	}
+	if o.MaxTreesPerRoot <= 0 {
+		o.MaxTreesPerRoot = 32
+	}
+	if o.MaxCombos <= 0 {
+		o.MaxCombos = 256
+	}
+	if o.MITolerance <= 0 {
+		o.MITolerance = 0.25
+	}
+	return o
+}
+
+// Input is everything JECB consumes: the database, the transaction source
+// code, and the training trace. Test is optional and used only to check
+// min-cut mappings for "meaningfulness" (§5.3); it defaults to Train.
+type Input struct {
+	DB         *db.DB
+	Procedures []*sqlparse.Procedure
+	Train      *trace.Trace
+	Test       *trace.Trace
+}
+
+// Partitioner runs JECB. Construct with New, call Run.
+type Partitioner struct {
+	in   Input
+	opts Options
+}
+
+// New validates the input and returns a runnable partitioner.
+func New(in Input, opts Options) (*Partitioner, error) {
+	if in.DB == nil {
+		return nil, fmt.Errorf("core: nil database")
+	}
+	if len(in.Procedures) == 0 {
+		return nil, fmt.Errorf("core: no procedures")
+	}
+	if in.Train == nil || in.Train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training trace")
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: k = %d", opts.K)
+	}
+	if in.Test == nil {
+		in.Test = in.Train
+	}
+	return &Partitioner{in: in, opts: opts.withDefaults()}, nil
+}
+
+// Run executes the three phases and returns the global solution plus a
+// report describing what each phase found (the raw material of the
+// paper's Tables 3–4).
+func (p *Partitioner) Run() (*partition.Solution, *Report, error) {
+	pre, err := p.phase1()
+	if err != nil {
+		return nil, nil, err
+	}
+	classes, err := p.phase2(pre)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, rep, err := p.phase3(pre, classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, rep, nil
+}
+
+// Partition is the convenience one-call API.
+func Partition(in Input, opts Options) (*partition.Solution, *Report, error) {
+	p, err := New(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Run()
+}

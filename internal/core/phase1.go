@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlparse"
+	"repro/internal/trace"
+)
+
+// preprocessed is Phase 1's output: which accessed tables are replicated,
+// the per-class trace streams, and the per-class code analyses.
+type preprocessed struct {
+	// Replicated marks read-only and read-mostly tables (plus tables the
+	// schema declares but the workload never writes).
+	Replicated map[string]bool
+	// PartitionedTables are the accessed tables that must be partitioned,
+	// sorted.
+	PartitionedTables []string
+	// Streams maps class name to its homogeneous training sub-trace.
+	Streams map[string]*trace.Trace
+	// Mix is each class's share of the training workload.
+	Mix map[string]float64
+	// Analyses maps class name to its SQL analysis.
+	Analyses map[string]*sqlparse.Analysis
+}
+
+// phase1 implements §4: collect statistics from the trace, replicate
+// read-only and read-mostly tables, and split the trace per class.
+func (p *Partitioner) phase1() (*preprocessed, error) {
+	sc := p.in.DB.Schema()
+	pre := &preprocessed{
+		Replicated: map[string]bool{},
+		Streams:    p.in.Train.Split(),
+		Mix:        p.in.Train.Mix(),
+		Analyses:   map[string]*sqlparse.Analysis{},
+	}
+
+	stats := p.in.Train.Stats()
+	total := p.in.Train.Len()
+	accessed := map[string]bool{}
+	for tbl, st := range stats {
+		accessed[tbl] = true
+		if st.WriteTxnFraction(total) < p.opts.ReadMostlyThreshold {
+			pre.Replicated[tbl] = true
+		}
+	}
+	// Tables the schema declares but the trace never touches are
+	// replicated by default: they cost nothing and constrain nothing.
+	for _, t := range sc.Tables() {
+		if !accessed[t.Name] {
+			pre.Replicated[t.Name] = true
+		}
+	}
+	for tbl := range accessed {
+		if !pre.Replicated[tbl] {
+			pre.PartitionedTables = append(pre.PartitionedTables, tbl)
+		}
+	}
+	sort.Strings(pre.PartitionedTables)
+
+	for _, proc := range p.in.Procedures {
+		a, err := sqlparse.Analyze(proc, sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 1: %w", err)
+		}
+		pre.Analyses[proc.Name] = a
+	}
+	// Sanity: every class in the trace must have source code. (TPC-E
+	// frames appear as separate classes, each with its own procedure.)
+	for class := range pre.Streams {
+		if _, ok := pre.Analyses[class]; !ok {
+			return nil, fmt.Errorf("core: phase 1: trace class %q has no procedure", class)
+		}
+	}
+	return pre, nil
+}

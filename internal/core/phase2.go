@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/graphpart"
+	"repro/internal/joingraph"
+	"repro/internal/partition"
+	"repro/internal/schema"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// ClassSolution is one candidate partitioning for a transaction class: a
+// join tree plus (when the tree is not mapping independent) an explicit
+// mapping function found by the statistics-based fallback.
+type ClassSolution struct {
+	Class string
+	Tree  *joingraph.Tree
+	// MappingIndependent marks Definition 7 solutions, whose quality does
+	// not depend on the mapping function.
+	MappingIndependent bool
+	// Mapper is non-nil for statistics-based solutions (§5.3).
+	Mapper partition.Mapper
+	// Partial marks solutions covering only a subset of the class's
+	// partitioned tables.
+	Partial bool
+	// Cost is the class-local cost (0 for mapping-independent solutions).
+	Cost float64
+}
+
+// Root returns the solution's partitioning attribute.
+func (cs *ClassSolution) Root() schema.ColumnRef { return cs.Tree.Root }
+
+// ClassResult is Phase 2's outcome for one transaction class — one row of
+// the paper's Table 3.
+type ClassResult struct {
+	Class string
+	// Mix is the class's fraction of the training workload.
+	Mix float64
+	// ReadOnly marks classes touching no partitioned table.
+	ReadOnly bool
+	// NonPartitionable marks classes with neither mapping-independent
+	// solutions nor a meaningful statistics-based mapping.
+	NonPartitionable bool
+	Total            []*ClassSolution
+	Partial          []*ClassSolution
+	// TreeSpace is the unpruned number of join trees for the class
+	// (the per-class contribution to Example 10's search-space count).
+	TreeSpace int
+}
+
+// phase2 finds total and partial solutions for every transaction class
+// (§5).
+func (p *Partitioner) phase2(pre *preprocessed) (map[string]*ClassResult, error) {
+	testStreams := p.in.Test.Split()
+	out := make(map[string]*ClassResult, len(pre.Streams))
+	for class, stream := range pre.Streams {
+		res, err := p.solveClass(pre, class, stream, testStreams[class])
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2: class %s: %w", class, err)
+		}
+		out[class] = res
+	}
+	return out, nil
+}
+
+func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testStream *trace.Trace) (*ClassResult, error) {
+	res := &ClassResult{Class: class, Mix: pre.Mix[class]}
+	a := pre.Analyses[class]
+	g := joingraph.Build(a, p.in.DB.Schema(), pre.Replicated)
+	if len(g.Tables) == 0 {
+		res.ReadOnly = true
+		return res, nil
+	}
+
+	trees := g.Trees(p.opts.MaxTreesPerRoot)
+	res.TreeSpace = g.SolutionCount()
+	if p.opts.IntraTableOnly {
+		trees = filterIntraTable(trees)
+	}
+
+	if len(trees) == 0 {
+		// §5.2 case 2: no root attributes — split the graph and harvest
+		// partial solutions from the subgraphs.
+		p.addPartialsFromSplit(res, g, stream)
+		if len(res.Partial) == 0 {
+			res.NonPartitionable = true
+		}
+		return res, nil
+	}
+
+	// Keep mapping-independent trees, then drop coarser compatible ones
+	// (Definition 9 / Property 1: keep the finest). Trees that are
+	// single-valued for all but a small fraction of transactions — TPC-C
+	// with its ~10% remote-warehouse NewOrders — still make the lowest-
+	// cost "total solutions" of §5 even though no tree is exactly mapping
+	// independent; MITolerance governs how much residue is acceptable.
+	fracs := make([]float64, len(trees))
+	bestFrac := 0.0
+	for i, t := range trees {
+		f, err := p.singleValueFraction(t, stream, nil)
+		if err != nil {
+			return nil, err
+		}
+		fracs[i] = f
+		if f > bestFrac {
+			bestFrac = f
+		}
+	}
+	if bestFrac >= 1-p.opts.MITolerance {
+		var keep []*joingraph.Tree
+		for i, t := range trees {
+			if fracs[i] >= bestFrac-1e-9 {
+				keep = append(keep, t)
+			}
+		}
+		if !p.opts.KeepAllTrees {
+			keep = dropCoarserTrees(keep)
+		}
+		exact := bestFrac == 1
+		for _, t := range keep {
+			res.Total = append(res.Total, &ClassSolution{
+				Class: class, Tree: t, MappingIndependent: exact,
+				Cost: 1 - bestFrac,
+			})
+		}
+		// Partial solutions from the sub-join trees of each total
+		// solution (§5.3 end).
+		for _, t := range keep {
+			if err := p.addPartialsFromSubtrees(res, t, stream); err != nil {
+				return nil, err
+			}
+		}
+		sortSolutions(res.Total)
+		sortSolutions(res.Partial)
+		return res, nil
+	}
+
+	// No mapping-independent total solution: statistics-based fallback
+	// (§5.3) — build the best mapping function per tree by min-cut over
+	// co-accessed root values, and keep it only if it beats both hash and
+	// range mappings on unseen data.
+	if !p.opts.DisableMinCutFallback {
+		best, err := p.minCutSolution(class, trees, stream, testStream)
+		if err != nil {
+			return nil, err
+		}
+		if best != nil {
+			res.Total = append(res.Total, best)
+			return res, nil
+		}
+	}
+	res.NonPartitionable = true
+	return res, nil
+}
+
+// singleValueFraction measures how close a tree is to Definition 7's
+// mapping independence: the fraction of the stream's transactions that
+// map, through the tree's join paths, to at most one root value. A
+// fraction of 1 is exact mapping independence. When tables is non-nil the
+// check is restricted to that subset (for partial solutions);
+// transactions touching none of the covered tables do not constrain the
+// result. Transactions with unmappable tuples count as multi-valued.
+func (p *Partitioner) singleValueFraction(tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (float64, error) {
+	evals := map[string]*db.PathEval{}
+	for tbl, path := range tree.Paths {
+		if tables == nil || tables[tbl] {
+			evals[tbl] = db.NewPathEval(p.in.DB, path)
+		}
+	}
+	if stream.Len() == 0 {
+		return 1, nil
+	}
+	single := 0
+	for i := range stream.Txns {
+		var first value.Value
+		seen, multi := false, false
+		for _, acc := range stream.Txns[i].Accesses {
+			ev, ok := evals[acc.Table]
+			if !ok {
+				continue
+			}
+			v, ok := ev.Eval(acc.Key)
+			if !ok {
+				multi = true
+				break
+			}
+			if !seen {
+				first, seen = v, true
+			} else if v != first {
+				multi = true
+				break
+			}
+		}
+		if !multi {
+			single++
+		}
+	}
+	return float64(single) / float64(stream.Len()), nil
+}
+
+// mappingIndependent is the exact Definition 7 predicate.
+func (p *Partitioner) mappingIndependent(tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (bool, error) {
+	f, err := p.singleValueFraction(tree, stream, tables)
+	return f == 1, err
+}
+
+// rootValueSets maps each transaction of the stream to the set of root
+// values its covered accesses reach (used by the min-cut fallback).
+func (p *Partitioner) rootValueSets(tree *joingraph.Tree, stream *trace.Trace) ([][]value.Value, error) {
+	evals := map[string]*db.PathEval{}
+	for tbl, path := range tree.Paths {
+		evals[tbl] = db.NewPathEval(p.in.DB, path)
+	}
+	out := make([][]value.Value, stream.Len())
+	for i := range stream.Txns {
+		set := map[value.Value]bool{}
+		for _, acc := range stream.Txns[i].Accesses {
+			ev, ok := evals[acc.Table]
+			if !ok {
+				continue
+			}
+			if v, ok := ev.Eval(acc.Key); ok {
+				set[v] = true
+			}
+		}
+		vals := make([]value.Value, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// minCutSolution implements §5.3's statistics-based mapping: build the
+// co-access graph over root values, min-cut it into k partitions, and
+// accept the lookup mapping only if it is "meaningful" — cheaper on the
+// test stream than both hash and range mappings. It returns the best
+// meaningful solution across trees, or nil.
+func (p *Partitioner) minCutSolution(class string, trees []*joingraph.Tree, stream, testStream *trace.Trace) (*ClassSolution, error) {
+	if testStream == nil {
+		testStream = stream
+	}
+	var best *ClassSolution
+	for _, tree := range trees {
+		sets, err := p.rootValueSets(tree, stream)
+		if err != nil {
+			return nil, err
+		}
+		// Index distinct values.
+		index := map[value.Value]int{}
+		var vals []value.Value
+		for _, set := range sets {
+			for _, v := range set {
+				if _, ok := index[v]; !ok {
+					index[v] = len(vals)
+					vals = append(vals, v)
+				}
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		g := graphpart.New(len(vals))
+		for _, set := range sets {
+			for i := 0; i < len(set); i++ {
+				for j := i + 1; j < len(set); j++ {
+					g.AddEdge(index[set[i]], index[set[j]], 1)
+				}
+			}
+		}
+		parts, err := graphpart.Partition(g, p.opts.K, graphpart.Options{Seed: p.opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		table := make(map[value.Value]int, len(vals))
+		for i, v := range vals {
+			table[v] = parts[i]
+		}
+		lookup := partition.NewLookup(p.opts.K, table, nil)
+
+		lookupCost, err := p.classCost(tree, lookup, testStream)
+		if err != nil {
+			return nil, err
+		}
+		hashCost, err := p.classCost(tree, partition.NewHash(p.opts.K), testStream)
+		if err != nil {
+			return nil, err
+		}
+		rangeCost, err := p.classCost(tree, partition.NewRangeFromValues(p.opts.K, vals), testStream)
+		if err != nil {
+			return nil, err
+		}
+		// The mapping is "meaningful" only if it beats both hash and
+		// range mappings on unseen data (§5.3). The margin guards
+		// against declaring victory on statistical noise when the
+		// workload is actually unpartitionable (e.g. TPC-E's
+		// Broker-Volume, whose parameters are uniform random).
+		const margin = 0.98
+		if lookupCost >= hashCost*margin || lookupCost >= rangeCost*margin {
+			continue // not meaningful
+		}
+		if best == nil || lookupCost < best.Cost {
+			best = &ClassSolution{
+				Class: class, Tree: tree, Mapper: lookup, Cost: lookupCost,
+			}
+		}
+	}
+	return best, nil
+}
+
+// classCost evaluates a (tree, mapper) pair on a class stream: replicated
+// tables aside, every covered table partitions by its path under the
+// mapper.
+func (p *Partitioner) classCost(tree *joingraph.Tree, m partition.Mapper, stream *trace.Trace) (float64, error) {
+	sol := partition.NewSolution("class-local", p.opts.K)
+	for tbl, path := range tree.Paths {
+		sol.Set(partition.NewByPath(tbl, path, m))
+	}
+	// Tables the stream touches but the tree does not cover are treated
+	// as replicated reads (they are replicated by Phase 1 in the callers'
+	// contexts).
+	for _, txn := range stream.Txns {
+		for _, acc := range txn.Accesses {
+			if sol.Table(acc.Table) == nil {
+				sol.Set(partition.NewReplicated(acc.Table))
+			}
+		}
+	}
+	r, err := eval.Evaluate(p.in.DB, sol, stream)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cost(), nil
+}
+
+// addPartialsFromSubtrees walks the sub-join trees of a total solution,
+// adding every mapping-independent one as a partial solution (§5.3 end).
+func (p *Partitioner) addPartialsFromSubtrees(res *ClassResult, tree *joingraph.Tree, stream *trace.Trace) error {
+	queue := subTrees(tree)
+	for len(queue) > 0 {
+		sub := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		covered := map[string]bool{}
+		for tbl := range sub.Paths {
+			covered[tbl] = true
+		}
+		ok, err := p.mappingIndependent(sub, stream, covered)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		res.Partial = append(res.Partial, &ClassSolution{
+			Class: res.Class, Tree: sub, MappingIndependent: true, Partial: true,
+		})
+		queue = append(queue, subTrees(sub)...)
+	}
+	return nil
+}
+
+// addPartialsFromSplit handles §5.2 case 2: split the rootless graph and
+// keep mapping-independent trees of each subgraph as partial solutions.
+func (p *Partitioner) addPartialsFromSplit(res *ClassResult, g *joingraph.Graph, stream *trace.Trace) {
+	for _, sub := range g.Split() {
+		if len(sub.Tables) == 0 {
+			continue
+		}
+		covered := map[string]bool{}
+		for _, tbl := range sub.Tables {
+			covered[tbl] = true
+		}
+		trees := sub.Trees(p.opts.MaxTreesPerRoot)
+		if p.opts.IntraTableOnly {
+			trees = filterIntraTable(trees)
+		}
+		var keep []*joingraph.Tree
+		bestFrac := 0.0
+		fracs := make([]float64, len(trees))
+		for i, t := range trees {
+			f, err := p.singleValueFraction(t, stream, covered)
+			if err != nil {
+				continue
+			}
+			fracs[i] = f
+			if f > bestFrac {
+				bestFrac = f
+			}
+		}
+		if bestFrac < 1-p.opts.MITolerance {
+			continue
+		}
+		for i, t := range trees {
+			if fracs[i] >= bestFrac-1e-9 {
+				keep = append(keep, t)
+			}
+		}
+		if !p.opts.KeepAllTrees {
+			keep = dropCoarserTrees(keep)
+		}
+		for _, t := range keep {
+			res.Partial = append(res.Partial, &ClassSolution{
+				Class: res.Class, Tree: t, MappingIndependent: bestFrac == 1,
+				Partial: true, Cost: 1 - bestFrac,
+			})
+		}
+	}
+	sortSolutions(res.Partial)
+}
+
+// subTrees removes the root attribute from a join tree, returning the
+// subtree rooted at each distinct (single-attribute) predecessor node.
+func subTrees(tree *joingraph.Tree) []*joingraph.Tree {
+	groups := map[string]*joingraph.Tree{}
+	for tbl, path := range tree.Paths {
+		trunk := path.Trunk()
+		if trunk.Len() == 0 {
+			continue // the root table itself drops out
+		}
+		last := trunk.Nodes[trunk.Len()-1]
+		if len(last.Columns) != 1 {
+			continue // composite predecessors cannot root a tree (Def 3)
+		}
+		key := last.String()
+		sub, ok := groups[key]
+		if !ok {
+			sub = &joingraph.Tree{
+				Root:  schema.ColumnRef{Table: last.Table, Column: last.Columns[0]},
+				Paths: map[string]schema.JoinPath{},
+			}
+			groups[key] = sub
+		}
+		sub.Paths[tbl] = trunk
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*joingraph.Tree, len(keys))
+	for i, k := range keys {
+		out[i] = groups[k]
+	}
+	return out
+}
+
+// dropCoarserTrees removes trees that are coarser than (compatible with)
+// another tree in the set, keeping the finest of each compatible family
+// (Definition 9 / Property 1).
+func dropCoarserTrees(trees []*joingraph.Tree) []*joingraph.Tree {
+	var out []*joingraph.Tree
+	for i, t := range trees {
+		coarser := false
+		for j, other := range trees {
+			if i == j {
+				continue
+			}
+			if treeCoarserThan(t, other) {
+				// t = other + p(X,Y): t is coarser; drop it unless the
+				// finer tree was itself dropped (it never is: finer trees
+				// are never coarser than their own extensions).
+				coarser = true
+				break
+			}
+		}
+		if !coarser {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// treeCoarserThan reports whether coarse = fine + p(X,Y) for a single
+// common extension path p from fine's root to coarse's root
+// (Definition 9).
+func treeCoarserThan(coarse, fine *joingraph.Tree) bool {
+	if coarse.Root == fine.Root {
+		return false
+	}
+	if len(coarse.Paths) != len(fine.Paths) {
+		return false
+	}
+	var ext schema.JoinPath
+	extSet := false
+	for tbl, fp := range fine.Paths {
+		cp, ok := coarse.Paths[tbl]
+		if !ok || !cp.HasPrefix(fp) || cp.Len() <= fp.Len() {
+			return false
+		}
+		suffix := schema.JoinPath{Nodes: cp.Nodes[fp.Len()-1:]}
+		if !extSet {
+			ext, extSet = suffix, true
+		} else if !ext.Equal(suffix) {
+			return false
+		}
+	}
+	return extSet
+}
+
+// filterIntraTable keeps only trees whose every path stays within its own
+// table (the IntraTableOnly ablation: no join extension).
+func filterIntraTable(trees []*joingraph.Tree) []*joingraph.Tree {
+	var out []*joingraph.Tree
+	for _, t := range trees {
+		ok := true
+		for tbl, p := range t.Paths {
+			for _, n := range p.Nodes {
+				if n.Table != tbl {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortSolutions(ss []*ClassSolution) {
+	sort.Slice(ss, func(i, j int) bool {
+		ri, rj := ss[i].Root(), ss[j].Root()
+		if ri.Table != rj.Table {
+			return ri.Table < rj.Table
+		}
+		return ri.Column < rj.Column
+	})
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/schema"
+)
+
+// Report describes what a JECB run found: the per-class Phase 2 outcomes
+// (the paper's Table 3), the Phase 3 search statistics (Example 10), and
+// the final solution (Table 4).
+type Report struct {
+	K          int
+	Replicated map[string]bool
+	Classes    map[string]*ClassResult
+
+	// UnprunedSpace is the size of the naive per-table combination space
+	// (Example 10 reports ~2.6M for TPC-E).
+	UnprunedSpace int
+	// CandidateAttributes are the incompatible attributes Phase 3
+	// searched around (Example 10: C_ID, B_ID, T_S_SYMB, T_DTS).
+	CandidateAttributes []schema.ColumnRef
+	// CombosEvaluated counts the combinations actually costed.
+	CombosEvaluated int
+	// ChosenAttribute is the root of the winning combination.
+	ChosenAttribute schema.ColumnRef
+	// TrainCost is the winning combination's cost on the training trace.
+	TrainCost float64
+	// Solution is the final global solution.
+	Solution *partition.Solution
+}
+
+// ClassNames returns the report's classes sorted by name.
+func (r *Report) ClassNames() []string {
+	out := make([]string, 0, len(r.Classes))
+	for c := range r.Classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table3Row is one row of the paper's Table 3: the class, its mix, and
+// the roots of its total and partial solutions.
+type Table3Row struct {
+	Class   string
+	Mix     float64
+	Total   string
+	Partial string
+}
+
+// Table3 renders the per-class solution summary in the shape of the
+// paper's Table 3.
+func (r *Report) Table3() []Table3Row {
+	var rows []Table3Row
+	for _, name := range r.ClassNames() {
+		cr := r.Classes[name]
+		row := Table3Row{Class: name, Mix: cr.Mix}
+		switch {
+		case cr.ReadOnly:
+			row.Total, row.Partial = "Read-only", "Read-only"
+		case cr.NonPartitionable:
+			row.Total, row.Partial = "No", rootsOrNo(cr.Partial)
+		default:
+			row.Total, row.Partial = rootsOrNo(cr.Total), rootsOrNo(cr.Partial)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func rootsOrNo(ss []*ClassSolution) string {
+	if len(ss) == 0 {
+		return "No"
+	}
+	seen := map[string]bool{}
+	var roots []string
+	for _, s := range ss {
+		k := s.Root().Column
+		if !seen[k] {
+			seen[k] = true
+			roots = append(roots, k)
+		}
+	}
+	return strings.Join(roots, " or ")
+}
+
+// Table4Row is one row of the paper's Table 4: a table and its chosen
+// placement (replicated, or a join path).
+type Table4Row struct {
+	Table    string
+	Solution string
+}
+
+// Table4 renders the final per-table solutions in the shape of the
+// paper's Table 4 (partitioned tables only; replicated workload tables
+// are listed as "replicated").
+func (r *Report) Table4() []Table4Row {
+	if r.Solution == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.Solution.Tables))
+	for n := range r.Solution.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var rows []Table4Row
+	for _, n := range names {
+		ts := r.Solution.Tables[n]
+		if ts.Replicate {
+			rows = append(rows, Table4Row{Table: n, Solution: "replicated"})
+			continue
+		}
+		var hops []string
+		for _, node := range ts.Path.Nodes {
+			hops = append(hops, node.String())
+		}
+		rows = append(rows, Table4Row{Table: n, Solution: strings.Join(hops, " -> ")})
+	}
+	return rows
+}
+
+// String renders a human-readable run summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "JECB report (k=%d)\n", r.K)
+	fmt.Fprintf(&sb, "  unpruned search space: %d combinations\n", r.UnprunedSpace)
+	fmt.Fprintf(&sb, "  candidate attributes: %v\n", r.CandidateAttributes)
+	fmt.Fprintf(&sb, "  combinations evaluated: %d\n", r.CombosEvaluated)
+	fmt.Fprintf(&sb, "  chosen attribute: %s (train cost %.1f%%)\n", r.ChosenAttribute, 100*r.TrainCost)
+	sb.WriteString("  per-class solutions:\n")
+	for _, row := range r.Table3() {
+		fmt.Fprintf(&sb, "    %-24s mix=%5.1f%%  total=%-20s partial=%s\n",
+			row.Class, 100*row.Mix, row.Total, row.Partial)
+	}
+	if r.Solution != nil {
+		sb.WriteString(r.Solution.String())
+	}
+	return sb.String()
+}

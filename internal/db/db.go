@@ -1,0 +1,291 @@
+// Package db is the in-memory relational store the reproduction runs on.
+// It replaces the SQL Server instance of the paper's evaluation framework
+// (§7.1): benchmark generators load synthetic data into it, stored
+// procedures read and write it while the trace collector records accessed
+// tuples, and the partitioning evaluator uses it to follow join paths from
+// tuples to root-attribute values.
+//
+// The store is deliberately simple — typed rows, hash primary-key indexes,
+// lazily built secondary indexes — because every partitioning algorithm in
+// this repository observes only tuple identities and join-path lookups,
+// never storage internals.
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// DB is an in-memory database instance conforming to a schema.
+type DB struct {
+	sc     *schema.Schema
+	tables map[string]*Table
+}
+
+// New creates an empty database for the schema.
+func New(sc *schema.Schema) *DB {
+	d := &DB{sc: sc, tables: make(map[string]*Table, len(sc.Tables()))}
+	for _, tm := range sc.Tables() {
+		d.tables[tm.Name] = newTable(tm)
+	}
+	return d
+}
+
+// Schema returns the schema the database was created with.
+func (d *DB) Schema() *schema.Schema { return d.sc }
+
+// Table returns the named table, or nil if the schema does not declare it.
+func (d *DB) Table(name string) *Table { return d.tables[name] }
+
+// TotalRows returns the number of live rows across all tables.
+func (d *DB) TotalRows() int {
+	n := 0
+	for _, t := range d.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Table stores the rows of one relation with a primary-key index and
+// lazily built single-column secondary indexes.
+type Table struct {
+	meta *schema.Table
+	rows []value.Tuple
+	free []int // indexes of deleted slots available for reuse
+	pk   map[value.Key]int
+	sec  map[string]map[value.Value][]int
+	// graveyard keeps the last version of deleted rows so join paths can
+	// still be evaluated for tuples a traced transaction deleted (the
+	// trace references them, but the live table no longer does).
+	graveyard map[value.Key]value.Tuple
+}
+
+func newTable(meta *schema.Table) *Table {
+	return &Table{meta: meta, pk: make(map[value.Key]int)}
+}
+
+// Meta returns the table's schema declaration.
+func (t *Table) Meta() *schema.Table { return t.meta }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.meta.Name }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return len(t.pk) }
+
+// PKOf computes the primary-key encoding of a tuple of this table.
+func (t *Table) PKOf(row value.Tuple) value.Key {
+	idx := t.meta.PKIndexes()
+	vals := make([]value.Value, len(idx))
+	for i, ci := range idx {
+		vals[i] = row[ci]
+	}
+	return value.KeyOf(vals)
+}
+
+// Insert adds a row. It returns the row's primary key, or an error on
+// arity mismatch, type mismatch, or duplicate key.
+func (t *Table) Insert(row value.Tuple) (value.Key, error) {
+	if len(row) != len(t.meta.Columns) {
+		return "", fmt.Errorf("db: %s: insert arity %d, want %d", t.meta.Name, len(row), len(t.meta.Columns))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.meta.Columns[i].Type.Kind() {
+			return "", fmt.Errorf("db: %s.%s: inserting %s into %s column",
+				t.meta.Name, t.meta.Columns[i].Name, v.Kind(), t.meta.Columns[i].Type)
+		}
+	}
+	k := t.PKOf(row)
+	if _, dup := t.pk[k]; dup {
+		return "", fmt.Errorf("db: %s: duplicate primary key %v", t.meta.Name, row)
+	}
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = row.Clone()
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, row.Clone())
+	}
+	t.pk[k] = slot
+	t.indexInsert(slot, row)
+	return k, nil
+}
+
+// MustInsert inserts a row built from raw values, panicking on error; it is
+// the loader API for the static benchmark generators.
+func (t *Table) MustInsert(vals ...value.Value) value.Key {
+	k, err := t.Insert(value.Tuple(vals))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(k value.Key) (value.Tuple, bool) {
+	slot, ok := t.pk[k]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot], true
+}
+
+// Update replaces non-key columns of the row identified by k. The update
+// tuple provides (column name, new value) pairs via the cols/vals slices.
+// Updating primary-key columns is rejected.
+func (t *Table) Update(k value.Key, cols []string, vals []value.Value) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("db: %s: update arity mismatch", t.meta.Name)
+	}
+	slot, ok := t.pk[k]
+	if !ok {
+		return fmt.Errorf("db: %s: update of missing key", t.meta.Name)
+	}
+	for _, c := range cols {
+		for _, pkc := range t.meta.PrimaryKey {
+			if c == pkc {
+				return fmt.Errorf("db: %s: cannot update primary-key column %s", t.meta.Name, c)
+			}
+		}
+	}
+	row := t.rows[slot]
+	t.indexDelete(slot, row)
+	for i, c := range cols {
+		ci := t.meta.ColumnIndex(c)
+		if ci < 0 {
+			t.indexInsert(slot, row)
+			return fmt.Errorf("db: %s: unknown column %s", t.meta.Name, c)
+		}
+		row[ci] = vals[i]
+	}
+	t.indexInsert(slot, row)
+	return nil
+}
+
+// Delete removes the row identified by k; it reports whether a row
+// existed. The deleted version remains readable through GetAny.
+func (t *Table) Delete(k value.Key) bool {
+	slot, ok := t.pk[k]
+	if !ok {
+		return false
+	}
+	if t.graveyard == nil {
+		t.graveyard = make(map[value.Key]value.Tuple)
+	}
+	t.graveyard[k] = t.rows[slot]
+	t.indexDelete(slot, t.rows[slot])
+	delete(t.pk, k)
+	t.rows[slot] = nil
+	t.free = append(t.free, slot)
+	return true
+}
+
+// GetAny returns the live row for k, or the last deleted version if the
+// row is gone. Join-path evaluation uses it so tuples referenced by a
+// trace stay resolvable after workload execution deleted them.
+func (t *Table) GetAny(k value.Key) (value.Tuple, bool) {
+	if row, ok := t.Get(k); ok {
+		return row, true
+	}
+	row, ok := t.graveyard[k]
+	return row, ok
+}
+
+// Scan calls fn for every live row with its primary key. fn returning
+// false stops the scan.
+func (t *Table) Scan(fn func(k value.Key, row value.Tuple) bool) {
+	for k, slot := range t.pk {
+		if !fn(k, t.rows[slot]) {
+			return
+		}
+	}
+}
+
+// Keys returns the primary keys of all live rows in sorted (encoded-key)
+// order. The deterministic order matters: workload generators sample from
+// it, and map-iteration order would make traces differ between runs.
+func (t *Table) Keys() []value.Key {
+	out := make([]value.Key, 0, len(t.pk))
+	for k := range t.pk {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ColumnValue projects the named column from a row of this table.
+func (t *Table) ColumnValue(row value.Tuple, col string) (value.Value, error) {
+	ci := t.meta.ColumnIndex(col)
+	if ci < 0 {
+		return value.Value{}, fmt.Errorf("db: %s: unknown column %s", t.meta.Name, col)
+	}
+	return row[ci], nil
+}
+
+// LookupBy returns the primary keys of rows whose col equals v, using a
+// lazily built (and thereafter maintained) secondary hash index.
+func (t *Table) LookupBy(col string, v value.Value) []value.Key {
+	idx := t.secondaryIndex(col)
+	slots := idx[v]
+	out := make([]value.Key, 0, len(slots))
+	for _, slot := range slots {
+		out = append(out, t.PKOf(t.rows[slot]))
+	}
+	return out
+}
+
+func (t *Table) secondaryIndex(col string) map[value.Value][]int {
+	if t.sec == nil {
+		t.sec = make(map[string]map[value.Value][]int)
+	}
+	if idx, ok := t.sec[col]; ok {
+		return idx
+	}
+	ci := t.meta.ColumnIndex(col)
+	if ci < 0 {
+		panic(fmt.Sprintf("db: %s: secondary index on unknown column %s", t.meta.Name, col))
+	}
+	// Build by slot order (not pk-map order) so lookup result order — and
+	// therefore any trace generated from it — is deterministic.
+	idx := make(map[value.Value][]int)
+	for slot, row := range t.rows {
+		if row != nil {
+			idx[row[ci]] = append(idx[row[ci]], slot)
+		}
+	}
+	t.sec[col] = idx
+	return idx
+}
+
+func (t *Table) indexInsert(slot int, row value.Tuple) {
+	for col, idx := range t.sec {
+		ci := t.meta.ColumnIndex(col)
+		idx[row[ci]] = append(idx[row[ci]], slot)
+	}
+}
+
+func (t *Table) indexDelete(slot int, row value.Tuple) {
+	for col, idx := range t.sec {
+		ci := t.meta.ColumnIndex(col)
+		v := row[ci]
+		slots := idx[v]
+		for i, s := range slots {
+			if s == slot {
+				slots[i] = slots[len(slots)-1]
+				idx[v] = slots[:len(slots)-1]
+				break
+			}
+		}
+		if len(idx[v]) == 0 {
+			delete(idx, v)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func custInfoSchema() *schema.Schema {
+	s := schema.New("custinfo")
+	s.AddTable("CUSTOMER_ACCOUNT",
+		schema.Cols("CA_ID", schema.Int, "CA_C_ID", schema.Int),
+		"CA_ID")
+	s.AddTable("TRADE",
+		schema.Cols("T_ID", schema.Int, "T_CA_ID", schema.Int, "T_QTY", schema.Int),
+		"T_ID")
+	s.AddTable("HOLDING_SUMMARY",
+		schema.Cols("HS_S_SYMB", schema.String, "HS_CA_ID", schema.Int, "HS_QTY", schema.Int),
+		"HS_S_SYMB", "HS_CA_ID")
+	s.AddFK("TRADE", []string{"T_CA_ID"}, "CUSTOMER_ACCOUNT", []string{"CA_ID"})
+	s.AddFK("HOLDING_SUMMARY", []string{"HS_CA_ID"}, "CUSTOMER_ACCOUNT", []string{"CA_ID"})
+	return s.MustValidate()
+}
+
+// loadFigure1 loads the exact data of the paper's Figure 1.
+func loadFigure1(t *testing.T) *DB {
+	t.Helper()
+	d := New(custInfoSchema())
+	ca := d.Table("CUSTOMER_ACCOUNT")
+	for _, r := range [][2]int64{{1, 1}, {7, 2}, {8, 1}, {10, 2}} {
+		ca.MustInsert(value.NewInt(r[0]), value.NewInt(r[1]))
+	}
+	tr := d.Table("TRADE")
+	for _, r := range [][3]int64{
+		{1, 1, 2}, {2, 7, 1}, {3, 10, 3}, {4, 8, 1},
+		{5, 8, 3}, {6, 7, 4}, {7, 1, 1}, {8, 10, 1},
+	} {
+		tr.MustInsert(value.NewInt(r[0]), value.NewInt(r[1]), value.NewInt(r[2]))
+	}
+	hs := d.Table("HOLDING_SUMMARY")
+	for _, r := range []struct {
+		sym    string
+		ca, qt int64
+	}{
+		{"ADLAE", 1, 3}, {"APCFY", 1, 5}, {"AQLC", 7, 6}, {"ASTT", 10, 4},
+		{"BEBE", 10, 5}, {"BLS", 8, 9}, {"CAV", 8, 3}, {"CPN", 7, 1},
+	} {
+		hs.MustInsert(value.NewString(r.sym), value.NewInt(r.ca), value.NewInt(r.qt))
+	}
+	return d
+}
+
+func TestInsertGetLen(t *testing.T) {
+	d := loadFigure1(t)
+	if d.TotalRows() != 4+8+8 {
+		t.Errorf("TotalRows = %d", d.TotalRows())
+	}
+	tr := d.Table("TRADE")
+	if tr.Len() != 8 {
+		t.Errorf("TRADE len = %d", tr.Len())
+	}
+	row, ok := tr.Get(value.MakeKey(value.NewInt(3)))
+	if !ok || row[1] != value.NewInt(10) {
+		t.Errorf("Get(T_ID=3) = %v, %v", row, ok)
+	}
+	if _, ok := tr.Get(value.MakeKey(value.NewInt(99))); ok {
+		t.Error("missing key must not be found")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d := New(custInfoSchema())
+	tr := d.Table("TRADE")
+	if _, err := tr.Insert(value.Tuple{value.NewInt(1)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if _, err := tr.Insert(value.Tuple{value.NewString("x"), value.NewInt(1), value.NewInt(1)}); err == nil {
+		t.Error("type mismatch must error")
+	}
+	tr.MustInsert(value.NewInt(1), value.NewInt(1), value.NewInt(1))
+	if _, err := tr.Insert(value.Tuple{value.NewInt(1), value.NewInt(2), value.NewInt(3)}); err == nil {
+		t.Error("duplicate PK must error")
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	d := loadFigure1(t)
+	hs := d.Table("HOLDING_SUMMARY")
+	k := value.MakeKey(value.NewString("BLS"), value.NewInt(8))
+	row, ok := hs.Get(k)
+	if !ok || row[2] != value.NewInt(9) {
+		t.Errorf("Get(BLS,8) = %v, %v", row, ok)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	k := value.MakeKey(value.NewInt(1))
+	if err := tr.Update(k, []string{"T_QTY"}, []value.Value{value.NewInt(42)}); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tr.Get(k)
+	if row[2] != value.NewInt(42) {
+		t.Errorf("after update row = %v", row)
+	}
+	if err := tr.Update(k, []string{"T_ID"}, []value.Value{value.NewInt(9)}); err == nil {
+		t.Error("updating PK column must error")
+	}
+	if err := tr.Update(value.MakeKey(value.NewInt(99)), []string{"T_QTY"}, []value.Value{value.NewInt(1)}); err == nil {
+		t.Error("updating missing row must error")
+	}
+	if err := tr.Update(k, []string{"NOPE"}, []value.Value{value.NewInt(1)}); err == nil {
+		t.Error("updating unknown column must error")
+	}
+	if err := tr.Update(k, []string{"T_QTY"}, nil); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestDeleteAndSlotReuse(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	k := value.MakeKey(value.NewInt(5))
+	if !tr.Delete(k) {
+		t.Fatal("delete existing row must succeed")
+	}
+	if tr.Delete(k) {
+		t.Error("double delete must report false")
+	}
+	if tr.Len() != 7 {
+		t.Errorf("len after delete = %d", tr.Len())
+	}
+	// Reinsert reuses the freed slot.
+	tr.MustInsert(value.NewInt(5), value.NewInt(8), value.NewInt(3))
+	if tr.Len() != 8 {
+		t.Errorf("len after reinsert = %d", tr.Len())
+	}
+	if row, ok := tr.Get(k); !ok || row[1] != value.NewInt(8) {
+		t.Errorf("reinserted row = %v, %v", row, ok)
+	}
+}
+
+func TestScanAndKeys(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	count := 0
+	tr.Scan(func(k value.Key, row value.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 8 {
+		t.Errorf("scan visited %d rows", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Scan(func(k value.Key, row value.Tuple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-stop scan visited %d rows", count)
+	}
+	if got := len(tr.Keys()); got != 8 {
+		t.Errorf("Keys() len = %d", got)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	keys := tr.LookupBy("T_CA_ID", value.NewInt(8))
+	if len(keys) != 2 {
+		t.Fatalf("LookupBy(T_CA_ID=8) = %d keys", len(keys))
+	}
+	// Index must track subsequent mutations.
+	tr.Delete(value.MakeKey(value.NewInt(4))) // trade 4 had T_CA_ID=8
+	if got := tr.LookupBy("T_CA_ID", value.NewInt(8)); len(got) != 1 {
+		t.Errorf("after delete, LookupBy = %d keys", len(got))
+	}
+	tr.MustInsert(value.NewInt(9), value.NewInt(8), value.NewInt(2))
+	if got := tr.LookupBy("T_CA_ID", value.NewInt(8)); len(got) != 2 {
+		t.Errorf("after insert, LookupBy = %d keys", len(got))
+	}
+	if err := tr.Update(value.MakeKey(value.NewInt(9)), []string{"T_CA_ID"}, []value.Value{value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LookupBy("T_CA_ID", value.NewInt(8)); len(got) != 1 {
+		t.Errorf("after update, LookupBy = %d keys", len(got))
+	}
+}
+
+func TestColumnValue(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	row, _ := tr.Get(value.MakeKey(value.NewInt(2)))
+	v, err := tr.ColumnValue(row, "T_CA_ID")
+	if err != nil || v != value.NewInt(7) {
+		t.Errorf("ColumnValue = %v, %v", v, err)
+	}
+	if _, err := tr.ColumnValue(row, "NOPE"); err == nil {
+		t.Error("unknown column must error")
+	}
+}

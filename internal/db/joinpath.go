@@ -1,0 +1,121 @@
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// EvalPathFromRow follows a join path starting from a row of the path's
+// source table and returns the destination attribute's value. The boolean
+// result is false when the chain dangles: a hop hits a NULL foreign key or
+// a referenced row that does not exist.
+func (d *DB) EvalPathFromRow(p schema.JoinPath, row value.Tuple) (value.Value, bool, error) {
+	if p.Len() == 0 {
+		return value.Value{}, false, fmt.Errorf("db: empty join path")
+	}
+	vals, err := d.project(p.Nodes[0], row)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	for i := 0; i+1 < p.Len(); i++ {
+		cur, next := p.Nodes[i], p.Nodes[i+1]
+		if cur.Table != next.Table {
+			// Key–foreign-key hop: the FK values *are* the referenced
+			// primary-key values, so they carry over unchanged.
+			continue
+		}
+		// Within-table hop: cur is the table's primary key; locate the row
+		// and project the next attribute set.
+		for _, v := range vals {
+			if v.IsNull() {
+				return value.Value{}, false, nil
+			}
+		}
+		t := d.Table(cur.Table)
+		r, ok := t.GetAny(value.KeyOf(vals))
+		if !ok {
+			return value.Value{}, false, nil
+		}
+		vals, err = d.project(next, r)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+	}
+	if len(vals) != 1 {
+		return value.Value{}, false, fmt.Errorf("db: join path %v did not end in a single attribute", p)
+	}
+	if vals[0].IsNull() {
+		return value.Value{}, false, nil
+	}
+	return vals[0], true, nil
+}
+
+// EvalPath follows a join path from the tuple of the source table whose
+// primary key is srcKey.
+func (d *DB) EvalPath(p schema.JoinPath, srcKey value.Key) (value.Value, bool, error) {
+	t := d.Table(p.SourceTable())
+	if t == nil {
+		return value.Value{}, false, fmt.Errorf("db: join path source table %q unknown", p.SourceTable())
+	}
+	row, ok := t.GetAny(srcKey)
+	if !ok {
+		return value.Value{}, false, nil
+	}
+	return d.EvalPathFromRow(p, row)
+}
+
+func (d *DB) project(cs schema.ColumnSet, row value.Tuple) ([]value.Value, error) {
+	meta := d.Table(cs.Table).Meta()
+	out := make([]value.Value, len(cs.Columns))
+	for i, c := range cs.Columns {
+		ci := meta.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("db: %s: unknown column %s in join path", cs.Table, c)
+		}
+		out[i] = row[ci]
+	}
+	return out, nil
+}
+
+// PathEval evaluates one join path repeatedly with memoization. The
+// partitioning evaluator follows the same path for every accessed tuple of
+// a table across the whole trace, so caching by source key is the dominant
+// cost saver.
+type PathEval struct {
+	db   *DB
+	path schema.JoinPath
+	// cache maps source primary key -> (value, ok). A cached !ok records a
+	// dangling chain so it is not re-walked.
+	cache map[value.Key]cachedVal
+}
+
+type cachedVal struct {
+	v  value.Value
+	ok bool
+}
+
+// NewPathEval builds a memoizing evaluator for one path. The path should
+// already be validated against the database's schema.
+func NewPathEval(d *DB, p schema.JoinPath) *PathEval {
+	return &PathEval{db: d, path: p, cache: make(map[value.Key]cachedVal)}
+}
+
+// Path returns the evaluated join path.
+func (e *PathEval) Path() schema.JoinPath { return e.path }
+
+// Eval maps a source-table primary key to the destination attribute value.
+func (e *PathEval) Eval(srcKey value.Key) (value.Value, bool) {
+	if c, hit := e.cache[srcKey]; hit {
+		return c.v, c.ok
+	}
+	v, ok, err := e.db.EvalPath(e.path, srcKey)
+	if err != nil {
+		// Structural errors mean the path does not match the schema; the
+		// callers validate paths first, so treat as a dangling chain.
+		ok = false
+	}
+	e.cache[srcKey] = cachedVal{v: v, ok: ok}
+	return v, ok
+}

@@ -1,0 +1,150 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func tradePath() schema.JoinPath {
+	return schema.NewJoinPath(
+		schema.ColumnSet{Table: "TRADE", Columns: []string{"T_ID"}},
+		schema.ColumnSet{Table: "TRADE", Columns: []string{"T_CA_ID"}},
+		schema.ColumnSet{Table: "CUSTOMER_ACCOUNT", Columns: []string{"CA_ID"}},
+		schema.ColumnSet{Table: "CUSTOMER_ACCOUNT", Columns: []string{"CA_C_ID"}},
+	)
+}
+
+func hsPath() schema.JoinPath {
+	return schema.NewJoinPath(
+		schema.ColumnSet{Table: "HOLDING_SUMMARY", Columns: []string{"HS_S_SYMB", "HS_CA_ID"}},
+		schema.ColumnSet{Table: "HOLDING_SUMMARY", Columns: []string{"HS_CA_ID"}},
+		schema.ColumnSet{Table: "CUSTOMER_ACCOUNT", Columns: []string{"CA_ID"}},
+		schema.ColumnSet{Table: "CUSTOMER_ACCOUNT", Columns: []string{"CA_C_ID"}},
+	)
+}
+
+// TestEvalPathFigure1 checks the exact partition assignment of Figure 1:
+// trades map to customer 1 (red) or customer 2 (blue) via the join path.
+func TestEvalPathFigure1(t *testing.T) {
+	d := loadFigure1(t)
+	// From the figure: CA 1,8 belong to customer 1; CA 7,10 to customer 2.
+	wantByTrade := map[int64]int64{
+		1: 1, 7: 1, 4: 1, 5: 1, // red partition
+		2: 2, 6: 2, 3: 2, 8: 2, // blue partition
+	}
+	p := tradePath()
+	if err := p.Validate(d.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	for tid, want := range wantByTrade {
+		v, ok, err := d.EvalPath(p, value.MakeKey(value.NewInt(tid)))
+		if err != nil || !ok {
+			t.Fatalf("EvalPath(T_ID=%d): %v, ok=%v", tid, err, ok)
+		}
+		if v != value.NewInt(want) {
+			t.Errorf("T_ID=%d maps to C_ID %v, want %d", tid, v, want)
+		}
+	}
+}
+
+func TestEvalPathCompositeSource(t *testing.T) {
+	d := loadFigure1(t)
+	p := hsPath()
+	if err := p.Validate(d.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	// HOLDING_SUMMARY (BLS, 8): CA 8 -> customer 1.
+	k := value.MakeKey(value.NewString("BLS"), value.NewInt(8))
+	v, ok, err := d.EvalPath(p, k)
+	if err != nil || !ok || v != value.NewInt(1) {
+		t.Errorf("EvalPath(BLS,8) = %v, %v, %v", v, ok, err)
+	}
+}
+
+func TestEvalPathIdentity(t *testing.T) {
+	d := loadFigure1(t)
+	// Single-within-table path {T_ID} -> {T_CA_ID}.
+	p := schema.NewJoinPath(
+		schema.ColumnSet{Table: "TRADE", Columns: []string{"T_ID"}},
+		schema.ColumnSet{Table: "TRADE", Columns: []string{"T_CA_ID"}},
+	)
+	v, ok, err := d.EvalPath(p, value.MakeKey(value.NewInt(2)))
+	if err != nil || !ok || v != value.NewInt(7) {
+		t.Errorf("EvalPath = %v, %v, %v", v, ok, err)
+	}
+	// Trivial single-node path {T_ID}: the tuple's own key attribute.
+	pid := schema.NewJoinPath(schema.ColumnSet{Table: "TRADE", Columns: []string{"T_ID"}})
+	v, ok, err = d.EvalPath(pid, value.MakeKey(value.NewInt(5)))
+	if err != nil || !ok || v != value.NewInt(5) {
+		t.Errorf("identity path = %v, %v, %v", v, ok, err)
+	}
+}
+
+func TestEvalPathDangling(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	// Trade referencing a missing customer account.
+	tr.MustInsert(value.NewInt(100), value.NewInt(999), value.NewInt(1))
+	_, ok, err := d.EvalPath(tradePath(), value.MakeKey(value.NewInt(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dangling FK must report !ok")
+	}
+	// NULL FK.
+	tr.MustInsert(value.NewInt(101), value.NewNull(), value.NewInt(1))
+	_, ok, err = d.EvalPath(tradePath(), value.MakeKey(value.NewInt(101)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("NULL FK must report !ok")
+	}
+	// Missing source row.
+	_, ok, _ = d.EvalPath(tradePath(), value.MakeKey(value.NewInt(555)))
+	if ok {
+		t.Error("missing source row must report !ok")
+	}
+}
+
+func TestEvalPathErrors(t *testing.T) {
+	d := loadFigure1(t)
+	if _, _, err := d.EvalPath(schema.JoinPath{}, value.MakeKey(value.NewInt(1))); err == nil {
+		t.Error("empty path must error")
+	}
+	bad := schema.NewJoinPath(schema.ColumnSet{Table: "NOPE", Columns: []string{"X"}})
+	if _, _, err := d.EvalPath(bad, value.MakeKey(value.NewInt(1))); err == nil {
+		t.Error("unknown source table must error")
+	}
+}
+
+func TestPathEvalMemoizes(t *testing.T) {
+	d := loadFigure1(t)
+	e := NewPathEval(d, tradePath())
+	k := value.MakeKey(value.NewInt(3))
+	v1, ok1 := e.Eval(k)
+	if !ok1 || v1 != value.NewInt(2) {
+		t.Fatalf("first eval = %v, %v", v1, ok1)
+	}
+	// Mutate the underlying chain: memoized result must be stable (the
+	// evaluator snapshots the mapping for the duration of a run).
+	d.Table("TRADE").Update(k, []string{"T_CA_ID"}, []value.Value{value.NewInt(1)})
+	v2, ok2 := e.Eval(k)
+	if !ok2 || v2 != v1 {
+		t.Errorf("memoized eval = %v, %v; want %v", v2, ok2, v1)
+	}
+	if !e.Path().Equal(tradePath()) {
+		t.Error("Path() must return the constructed path")
+	}
+	// Negative results are memoized too.
+	missing := value.MakeKey(value.NewInt(777))
+	if _, ok := e.Eval(missing); ok {
+		t.Error("missing row must be !ok")
+	}
+	if _, ok := e.Eval(missing); ok {
+		t.Error("memoized missing row must stay !ok")
+	}
+}

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// CostModel prices one transaction's execution under a partitioning — the
+// paper's conclusion (§8) calls for exploring "a spectrum of increasingly
+// complex cost functions" beyond the fraction of distributed
+// transactions: models that weigh the number of sites a transaction
+// spans, and models that weigh the relative running times of local versus
+// distributed transactions.
+//
+// A model receives the classification the Assigner computed: how many
+// real partitions the transaction touched, whether it wrote a replicated
+// tuple, whether every tuple could be placed, and the partition count.
+type CostModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// TxnCost prices one transaction. touched is the number of distinct
+	// real partitions (0 for fully-replicated reads).
+	TxnCost(touched int, writesReplicated, allPlaced bool, k int) float64
+}
+
+// FractionModel is the paper's Definition 6: a transaction costs 1 when
+// distributed and 0 otherwise, so the aggregate is the fraction of
+// distributed transactions.
+type FractionModel struct{}
+
+// Name implements CostModel.
+func (FractionModel) Name() string { return "fraction" }
+
+// TxnCost implements CostModel.
+func (FractionModel) TxnCost(touched int, writesReplicated, allPlaced bool, k int) float64 {
+	if writesReplicated || !allPlaced || touched > 1 {
+		return 1
+	}
+	return 0
+}
+
+// SitesModel weighs distributed transactions by the number of sites they
+// span: coordinating five partitions costs more than coordinating two.
+// Local transactions cost 0; a transaction spanning s partitions costs
+// (s-1)/(k-1), and replicated writes cost 1 (they span everything).
+type SitesModel struct{}
+
+// Name implements CostModel.
+func (SitesModel) Name() string { return "sites" }
+
+// TxnCost implements CostModel.
+func (SitesModel) TxnCost(touched int, writesReplicated, allPlaced bool, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	if writesReplicated || !allPlaced {
+		return 1
+	}
+	if touched <= 1 {
+		return 0
+	}
+	return float64(touched-1) / float64(k-1)
+}
+
+// LatencyModel prices transactions in (relative) running time: a local
+// transaction costs Local, and a distributed one costs Base plus PerSite
+// for every extra participant — the two-phase-commit shape. Costs are
+// normalized by the distributed worst case so aggregates stay comparable
+// across models.
+type LatencyModel struct {
+	// Local is a local transaction's cost (default 1).
+	Local float64
+	// Base is a distributed transaction's fixed overhead (default 5).
+	Base float64
+	// PerSite is the marginal cost per extra participant (default 1).
+	PerSite float64
+}
+
+// DefaultLatency returns a LatencyModel with the defaults above.
+func DefaultLatency() LatencyModel { return LatencyModel{Local: 1, Base: 5, PerSite: 1} }
+
+// Name implements CostModel.
+func (LatencyModel) Name() string { return "latency" }
+
+// TxnCost implements CostModel.
+func (m LatencyModel) TxnCost(touched int, writesReplicated, allPlaced bool, k int) float64 {
+	local, base, per := m.Local, m.Base, m.PerSite
+	if local == 0 && base == 0 && per == 0 {
+		local, base, per = 1, 5, 1
+	}
+	worst := base + per*float64(k)
+	if worst <= 0 {
+		return 0
+	}
+	switch {
+	case writesReplicated || !allPlaced:
+		return 1 // spans every partition: the worst case
+	case touched <= 1:
+		return local / worst
+	default:
+		return math.Min(1, (base+per*float64(touched))/worst)
+	}
+}
+
+// EvaluateWith scores the bound solution on a trace under an arbitrary
+// cost model, returning the mean per-transaction cost in [0, 1].
+func (a *Assigner) EvaluateWith(tr *trace.Trace, model CostModel) (float64, error) {
+	if model == nil {
+		return 0, fmt.Errorf("eval: nil cost model")
+	}
+	if tr.Len() == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for i := range tr.Txns {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
+		total += model.TxnCost(len(parts), writesReplicated, allPlaced, a.sol.K)
+	}
+	return total / float64(tr.Len()), nil
+}

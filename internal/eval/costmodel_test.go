@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/partition"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+func TestFractionModelMatchesEvaluate(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 300, 4)
+	sol := naiveSolution(8)
+	a, err := NewAssigner(d, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Evaluate(tr)
+	frac, err := a.EvaluateWith(tr, FractionModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := frac - r.Cost(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("FractionModel (%.4f) must equal Definition 6 cost (%.4f)", frac, r.Cost())
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// A better partitioning must cost less under every model.
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 300, 4)
+	good, err := NewAssigner(d, joinExtensionSolution(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewAssigner(d, naiveSolution(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []CostModel{FractionModel{}, SitesModel{}, DefaultLatency()} {
+		g, err := good.EvaluateWith(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bad.EvaluateWith(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g >= b {
+			t.Errorf("%s: good (%.4f) must beat bad (%.4f)", m.Name(), g, b)
+		}
+		if g < 0 || g > 1 || b < 0 || b > 1 {
+			t.Errorf("%s: costs out of [0,1]: %v %v", m.Name(), g, b)
+		}
+	}
+}
+
+// TestSitesModelDiscriminates: the sites model separates two solutions
+// the fraction model ties — both distribute the same transactions, but
+// one scatters them across more partitions.
+func TestSitesModelDiscriminates(t *testing.T) {
+	d := fixture.CustInfoDB()
+	// One transaction touching 4 trades of distinct customers under two
+	// lookup mappings: "pairs" splits them over 2 partitions, "spread"
+	// over 4.
+	col := trace.NewCollector()
+	col.Begin("X", nil)
+	for _, tid := range []int64{1, 2, 3, 8} {
+		col.Read("TRADE", value.MakeKey(value.NewInt(tid)))
+	}
+	col.Commit()
+	tr := col.Trace()
+	build := func(m map[value.Value]int) *Assigner {
+		sol := partition.NewSolution("s", 4)
+		sol.Set(partition.NewByPath("TRADE",
+			singleColPath("TRADE", "T_ID"), partition.NewLookup(4, m, nil)))
+		sol.Set(partition.NewReplicated("CUSTOMER_ACCOUNT"))
+		sol.Set(partition.NewReplicated("HOLDING_SUMMARY"))
+		a, err := NewAssigner(d, sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	pairs := build(map[value.Value]int{
+		value.NewInt(1): 0, value.NewInt(2): 0,
+		value.NewInt(3): 1, value.NewInt(8): 1,
+	})
+	spread := build(map[value.Value]int{
+		value.NewInt(1): 0, value.NewInt(2): 1,
+		value.NewInt(3): 2, value.NewInt(8): 3,
+	})
+	fp, _ := pairs.EvaluateWith(tr, FractionModel{})
+	fs, _ := spread.EvaluateWith(tr, FractionModel{})
+	if fp != fs {
+		t.Fatalf("fraction model should tie: %v vs %v", fp, fs)
+	}
+	sp, _ := pairs.EvaluateWith(tr, SitesModel{})
+	ss, _ := spread.EvaluateWith(tr, SitesModel{})
+	if sp >= ss {
+		t.Errorf("sites model must prefer fewer sites: pairs %.3f vs spread %.3f", sp, ss)
+	}
+	lp, _ := pairs.EvaluateWith(tr, DefaultLatency())
+	ls, _ := spread.EvaluateWith(tr, DefaultLatency())
+	if lp >= ls {
+		t.Errorf("latency model must prefer fewer sites: pairs %.3f vs spread %.3f", lp, ls)
+	}
+}
+
+// TestModelBoundsProperty: every model prices every classification in
+// [0, 1], local costs no more than distributed, and more sites never cost
+// less.
+func TestModelBoundsProperty(t *testing.T) {
+	models := []CostModel{FractionModel{}, SitesModel{}, DefaultLatency(), LatencyModel{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(63)
+		for _, m := range models {
+			prev := -1.0
+			for touched := 0; touched <= k; touched++ {
+				c := m.TxnCost(touched, false, true, k)
+				if c < 0 || c > 1 {
+					return false
+				}
+				if touched >= 2 && c < prev {
+					return false // monotone in sites
+				}
+				if touched >= 2 {
+					prev = c
+				}
+			}
+			// Replicated writes and unplaceable tuples are worst-case.
+			if m.TxnCost(1, true, true, k) < m.TxnCost(k, false, true, k)-1e-9 {
+				return false
+			}
+			if m.TxnCost(1, false, false, k) < m.TxnCost(k, false, true, k)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateWithEdgeCases(t *testing.T) {
+	d := fixture.CustInfoDB()
+	a, err := NewAssigner(d, joinExtensionSolution(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EvaluateWith(&trace.Trace{}, nil); err == nil {
+		t.Error("nil model must error")
+	}
+	c, err := a.EvaluateWith(&trace.Trace{}, FractionModel{})
+	if err != nil || c != 0 {
+		t.Errorf("empty trace: %v, %v", c, err)
+	}
+	if got := (FractionModel{}).Name(); got != "fraction" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (SitesModel{}).Name(); got != "sites" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (LatencyModel{}).Name(); got != "latency" {
+		t.Errorf("name = %q", got)
+	}
+	// SitesModel with k=1 cannot distribute.
+	if c := (SitesModel{}).TxnCost(1, false, true, 1); c != 0 {
+		t.Errorf("k=1 cost = %v", c)
+	}
+}

@@ -1,0 +1,195 @@
+// Package eval implements the partitioning evaluator of the paper's
+// evaluation framework (Figure 4): it applies a partitioning solution to a
+// testing trace and computes the cost — the percentage of distributed
+// transactions (Definitions 5 and 6) — overall and per transaction class,
+// plus partitions-touched statistics and resource accounting for the
+// scalability experiments (Tables 1–2).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// ClassResult aggregates cost for one transaction class.
+type ClassResult struct {
+	Class       string
+	Total       int
+	Distributed int
+}
+
+// Cost is the fraction of the class's transactions that are distributed.
+func (c *ClassResult) Cost() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Distributed) / float64(c.Total)
+}
+
+// Result is the outcome of evaluating one solution on one trace.
+type Result struct {
+	Solution    string
+	K           int
+	Total       int
+	Distributed int
+	// TouchSum accumulates, over distributed transactions, the number of
+	// partitions each touched (Horticulture's cost model weighs this).
+	TouchSum int
+	ByClass  map[string]*ClassResult
+}
+
+// Cost is Definition 6: the fraction of distributed transactions.
+func (r *Result) Cost() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Distributed) / float64(r.Total)
+}
+
+// AvgTouched is the mean number of partitions touched by distributed
+// transactions (1.0 when none are distributed).
+func (r *Result) AvgTouched() float64 {
+	if r.Distributed == 0 {
+		return 1
+	}
+	return float64(r.TouchSum) / float64(r.Distributed)
+}
+
+// Classes returns per-class results sorted by class name.
+func (r *Result) Classes() []*ClassResult {
+	out := make([]*ClassResult, 0, len(r.ByClass))
+	for _, c := range r.ByClass {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s (k=%d): %.1f%% distributed (%d/%d)",
+		r.Solution, r.K, 100*r.Cost(), r.Distributed, r.Total)
+}
+
+// Assigner binds a solution to a database, memoizing join-path evaluation
+// per table. Partition queries drive both the evaluator and the router.
+type Assigner struct {
+	d     *db.DB
+	sol   *partition.Solution
+	evals map[string]*db.PathEval
+}
+
+// NewAssigner validates the solution against the database schema and
+// prepares per-table path evaluators.
+func NewAssigner(d *db.DB, sol *partition.Solution) (*Assigner, error) {
+	if err := sol.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	a := &Assigner{d: d, sol: sol, evals: make(map[string]*db.PathEval)}
+	for name, ts := range sol.Tables {
+		if !ts.Replicate {
+			a.evals[name] = db.NewPathEval(d, ts.Path)
+		}
+	}
+	return a, nil
+}
+
+// Solution returns the bound solution.
+func (a *Assigner) Solution() *partition.Solution { return a.sol }
+
+// PlaceKey returns the partition of an accessed tuple:
+// partition.Replicated for replicated tables, a partition in [0..k)
+// otherwise. ok is false when the solution does not cover the table or the
+// tuple's join path dangles (the tuple cannot be placed, so any
+// transaction touching it is distributed).
+func (a *Assigner) PlaceKey(acc trace.Access) (int, bool) {
+	ts := a.sol.Table(acc.Table)
+	if ts == nil {
+		return 0, false
+	}
+	if ts.Replicate {
+		return partition.Replicated, true
+	}
+	ev := a.evals[acc.Table]
+	v, ok := ev.Eval(acc.Key)
+	if !ok {
+		return 0, false
+	}
+	return ts.Mapper.Map(v), true
+}
+
+// TxnPartitions classifies a transaction under the bound solution: the set
+// of distinct real partitions its non-replicated accesses touch, whether it
+// writes a replicated tuple, and whether every access could be placed.
+func (a *Assigner) TxnPartitions(t *trace.Txn) (parts map[int]bool, writesReplicated, allPlaced bool) {
+	parts = make(map[int]bool)
+	allPlaced = true
+	for _, acc := range t.Accesses {
+		p, ok := a.PlaceKey(acc)
+		if !ok {
+			allPlaced = false
+			continue
+		}
+		if p == partition.Replicated {
+			if acc.Write {
+				writesReplicated = true
+			}
+			continue
+		}
+		parts[p] = true
+	}
+	return parts, writesReplicated, allPlaced
+}
+
+// Distributed applies Definition 5 to one transaction.
+func (a *Assigner) Distributed(t *trace.Txn) bool {
+	parts, writesReplicated, allPlaced := a.TxnPartitions(t)
+	return writesReplicated || !allPlaced || len(parts) > 1
+}
+
+// Evaluate scores a solution on a trace.
+func Evaluate(d *db.DB, sol *partition.Solution, tr *trace.Trace) (*Result, error) {
+	a, err := NewAssigner(d, sol)
+	if err != nil {
+		return nil, err
+	}
+	return a.Evaluate(tr), nil
+}
+
+// Evaluate scores the bound solution on a trace.
+func (a *Assigner) Evaluate(tr *trace.Trace) *Result {
+	r := &Result{
+		Solution: a.sol.Name,
+		K:        a.sol.K,
+		ByClass:  make(map[string]*ClassResult),
+	}
+	for i := range tr.Txns {
+		t := &tr.Txns[i]
+		cr, ok := r.ByClass[t.Class]
+		if !ok {
+			cr = &ClassResult{Class: t.Class}
+			r.ByClass[t.Class] = cr
+		}
+		r.Total++
+		cr.Total++
+		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
+		distributed := writesReplicated || !allPlaced || len(parts) > 1
+		if distributed {
+			r.Distributed++
+			cr.Distributed++
+			touched := len(parts)
+			if writesReplicated || !allPlaced {
+				touched = a.sol.K
+			}
+			if touched < 2 {
+				touched = 2
+			}
+			r.TouchSum += touched
+		}
+	}
+	return r
+}

@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/partition"
+	"repro/internal/schema"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+func singleColPath(table string, cols ...string) schema.JoinPath {
+	nodes := make([]schema.ColumnSet, len(cols))
+	for i, c := range cols {
+		nodes[i] = schema.ColumnSet{Table: table, Columns: []string{c}}
+	}
+	return schema.NewJoinPath(nodes...)
+}
+
+// joinExtensionSolution is the paper's ideal CustInfo partitioning: every
+// table by CA_C_ID via join paths (Figure 1's red/blue split).
+func joinExtensionSolution(k int) *partition.Solution {
+	sol := partition.NewSolution("join-extension", k)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("HOLDING_SUMMARY", fixture.HSPath(), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), partition.NewHash(k)))
+	return sol
+}
+
+// naiveSolution partitions each table by an intra-table attribute — the
+// strategy the paper's Example 1 shows cannot make CustInfo
+// single-partition.
+func naiveSolution(k int) *partition.Solution {
+	sol := partition.NewSolution("naive", k)
+	sol.Set(partition.NewByPath("TRADE",
+		singleColPath("TRADE", "T_ID", "T_CA_ID"), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT",
+		singleColPath("CUSTOMER_ACCOUNT", "CA_ID"), partition.NewHash(k)))
+	hs := schema.NewJoinPath(
+		schema.ColumnSet{Table: "HOLDING_SUMMARY", Columns: []string{"HS_S_SYMB", "HS_CA_ID"}},
+		schema.ColumnSet{Table: "HOLDING_SUMMARY", Columns: []string{"HS_CA_ID"}},
+	)
+	sol.Set(partition.NewByPath("HOLDING_SUMMARY", hs, partition.NewHash(k)))
+	return sol
+}
+
+// TestJoinExtensionIsPerfect reproduces the §3 claim: partitioning all
+// three tables by CA_C_ID makes every CustInfo transaction
+// single-partition for any number of partitions.
+func TestJoinExtensionIsPerfect(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.CustInfoTrace(d, 200, 1)
+	for _, k := range []int{2, 4, 8} {
+		r, err := Evaluate(d, joinExtensionSolution(k), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost() != 0 {
+			t.Errorf("k=%d: cost = %v, want 0", k, r.Cost())
+		}
+		if r.Total != 200 {
+			t.Errorf("k=%d: total = %d", k, r.Total)
+		}
+	}
+}
+
+// TestNaiveIsImperfect: the intra-table strategy distributes essentially
+// every CustInfo transaction (each customer's accounts hash apart).
+func TestNaiveIsImperfect(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.CustInfoTrace(d, 200, 1)
+	r, err := Evaluate(d, naiveSolution(8), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost() < 0.5 {
+		t.Errorf("naive cost = %v, expected high", r.Cost())
+	}
+	if r.AvgTouched() < 1.5 {
+		t.Errorf("avg touched = %v", r.AvgTouched())
+	}
+}
+
+func TestReplicatedReadsAreFree(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.CustInfoTrace(d, 100, 2)
+	// Replicate everything: read-only transactions stay local.
+	sol := partition.NewSolution("all-replicated", 4)
+	for _, tbl := range []string{"TRADE", "HOLDING_SUMMARY", "CUSTOMER_ACCOUNT"} {
+		sol.Set(partition.NewReplicated(tbl))
+	}
+	r, err := Evaluate(d, sol, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost() != 0 {
+		t.Errorf("read-only on replicated tables: cost = %v", r.Cost())
+	}
+}
+
+func TestReplicatedWriteIsDistributed(t *testing.T) {
+	d := fixture.CustInfoDB()
+	sol := partition.NewSolution("rep", 4)
+	for _, tbl := range []string{"TRADE", "HOLDING_SUMMARY", "CUSTOMER_ACCOUNT"} {
+		sol.Set(partition.NewReplicated(tbl))
+	}
+	col := trace.NewCollector()
+	col.Begin("W", nil)
+	col.Write("TRADE", value.MakeKey(value.NewInt(1)))
+	col.Commit()
+	r, err := Evaluate(d, sol, col.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distributed != 1 {
+		t.Errorf("write to replicated tuple must be distributed (Def 5.1); got %d", r.Distributed)
+	}
+}
+
+func TestUnplaceableTupleDistributes(t *testing.T) {
+	d := fixture.CustInfoDB()
+	// Dangling FK: trade 100 references a missing account.
+	d.Table("TRADE").MustInsert(value.NewInt(100), value.NewInt(999), value.NewInt(1))
+	col := trace.NewCollector()
+	col.Begin("X", nil)
+	col.Read("TRADE", value.MakeKey(value.NewInt(100)))
+	col.Commit()
+	r, err := Evaluate(d, joinExtensionSolution(2), col.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distributed != 1 {
+		t.Error("unplaceable tuple must make the transaction distributed")
+	}
+}
+
+func TestMissingTableSolutionDistributes(t *testing.T) {
+	d := fixture.CustInfoDB()
+	sol := partition.NewSolution("partial", 2)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), partition.NewHash(2)))
+	col := trace.NewCollector()
+	col.Begin("X", nil)
+	col.Read("HOLDING_SUMMARY", value.MakeKey(value.NewString("BLS"), value.NewInt(8)))
+	col.Commit()
+	r, err := Evaluate(d, sol, col.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distributed != 1 {
+		t.Error("access to uncovered table must be distributed")
+	}
+}
+
+func TestPerClassBreakdown(t *testing.T) {
+	d := fixture.CustInfoDB()
+	col := trace.NewCollector()
+	// Class L: local single-tuple reads.
+	for i := 0; i < 3; i++ {
+		col.Begin("L", nil)
+		col.Read("TRADE", value.MakeKey(value.NewInt(1)))
+		col.Commit()
+	}
+	// Class D: cross-customer reads (distributed whenever the two
+	// customers map to different partitions — with k=2 and the lookup
+	// mapper below, always).
+	col.Begin("D", nil)
+	col.Read("TRADE", value.MakeKey(value.NewInt(1))) // customer 1
+	col.Read("TRADE", value.MakeKey(value.NewInt(2))) // customer 2
+	col.Commit()
+	sol := partition.NewSolution("lk", 2)
+	lookup := partition.NewLookup(2, map[value.Value]int{
+		value.NewInt(1): 0,
+		value.NewInt(2): 1,
+	}, nil)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), lookup))
+	sol.Set(partition.NewByPath("HOLDING_SUMMARY", fixture.HSPath(), lookup))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), lookup))
+	r, err := Evaluate(d, sol, col.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ByClass["L"].Cost() != 0 {
+		t.Errorf("class L cost = %v", r.ByClass["L"].Cost())
+	}
+	if r.ByClass["D"].Cost() != 1 {
+		t.Errorf("class D cost = %v", r.ByClass["D"].Cost())
+	}
+	classes := r.Classes()
+	if len(classes) != 2 || classes[0].Class != "D" || classes[1].Class != "L" {
+		t.Errorf("Classes() = %v", classes)
+	}
+	if !strings.Contains(r.String(), "25.0%") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestAssignerPlaceKey(t *testing.T) {
+	d := fixture.CustInfoDB()
+	sol := joinExtensionSolution(2)
+	a, err := NewAssigner(d, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solution() != sol {
+		t.Error("Solution() identity")
+	}
+	p1, ok := a.PlaceKey(trace.Access{Table: "TRADE", Key: value.MakeKey(value.NewInt(1))})
+	if !ok {
+		t.Fatal("place failed")
+	}
+	p7, ok := a.PlaceKey(trace.Access{Table: "TRADE", Key: value.MakeKey(value.NewInt(7))})
+	if !ok || p1 != p7 {
+		t.Error("same-customer trades must co-locate")
+	}
+	if _, ok := a.PlaceKey(trace.Access{Table: "NOPE", Key: value.MakeKey(value.NewInt(1))}); ok {
+		t.Error("unknown table must not place")
+	}
+}
+
+func TestEvaluateRejectsInvalidSolution(t *testing.T) {
+	d := fixture.CustInfoDB()
+	bad := partition.NewSolution("bad", 0)
+	if _, err := Evaluate(d, bad, &trace.Trace{}); err == nil {
+		t.Error("invalid solution must be rejected")
+	}
+}
+
+func TestEmptyTraceCost(t *testing.T) {
+	d := fixture.CustInfoDB()
+	r, err := Evaluate(d, joinExtensionSolution(2), &trace.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost() != 0 || r.AvgTouched() != 1 {
+		t.Errorf("empty trace: cost=%v avg=%v", r.Cost(), r.AvgTouched())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	res, err := Measure(func() error {
+		buf := make([]byte, 1<<20)
+		_ = buf
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocBytes < 1<<20 {
+		t.Errorf("alloc bytes = %d, want >= 1MiB", res.AllocBytes)
+	}
+	if res.AllocMB() < 1 {
+		t.Errorf("AllocMB = %v", res.AllocMB())
+	}
+	if res.CPU <= 0 {
+		t.Errorf("CPU = %v", res.CPU)
+	}
+}

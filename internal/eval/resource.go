@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"runtime"
+	"time"
+)
+
+// Resources records what a partitioner run cost, for the paper's resource
+// consumption tables (Tables 1–2).
+//
+// Substitution note: the paper reports resident RAM (MB) and CPU seconds
+// of external processes (Java Schism vs. JECB). Here both algorithms run
+// in-process, so RAM is measured as bytes allocated during the run (the
+// dominant term for graph-building workloads, and the quantity whose
+// *scaling* with database size the tables demonstrate) and CPU as wall
+// time of the single-threaded run.
+type Resources struct {
+	AllocBytes uint64
+	HeapDelta  int64
+	CPU        time.Duration
+}
+
+// AllocMB returns allocated megabytes.
+func (r Resources) AllocMB() float64 { return float64(r.AllocBytes) / (1 << 20) }
+
+// Measure runs f, returning its resource consumption and error.
+func Measure(f func() error) (Resources, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	cpu := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Resources{
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		HeapDelta:  int64(after.HeapAlloc) - int64(before.HeapAlloc),
+		CPU:        cpu,
+	}, err
+}

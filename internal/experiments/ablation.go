@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/workloads"
+)
+
+// AblationRow reports one JECB variant's outcome on TPC-E.
+type AblationRow struct {
+	Name string
+	// Cost is the variant's test-trace fraction of distributed
+	// transactions.
+	Cost float64
+	// Combos counts Phase 3 combinations evaluated.
+	Combos int
+	// Attributes counts the candidate attributes searched around.
+	Attributes int
+}
+
+// Ablations runs the design-choice ablations DESIGN.md indexes, all on
+// TPC-E: full JECB, intra-table-only (join extension disabled),
+// min-cut fallback disabled, and Definition 9 tree merging disabled.
+func Ablations(scale, txns, k int, seed int64) ([]AblationRow, error) {
+	r, err := load("tpce", scale, txns, 0.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full jecb", core.Options{K: k}},
+		{"intra-table only", core.Options{K: k, IntraTableOnly: true}},
+		{"no min-cut fallback", core.Options{K: k, DisableMinCutFallback: true}},
+		{"keep all trees", core.Options{K: k, KeepAllTrees: true}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		sol, rep, err := core.Partition(core.Input{
+			DB:         r.db,
+			Procedures: workloads.Procedures(r.bench),
+			Train:      r.train,
+			Test:       r.test,
+		}, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eval.Evaluate(r.db, sol, r.test)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name:       v.name,
+			Cost:       res.Cost(),
+			Combos:     rep.CombosEvaluated,
+			Attributes: len(rep.CandidateAttributes),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/partition"
+	"repro/internal/workloads"
+	"repro/internal/workloads/seats"
+	"repro/internal/workloads/synthetic"
+	"repro/internal/workloads/tpce"
+)
+
+// Thin indirections keep experiments.go free of per-benchmark imports.
+
+func tpcePublishedHC(k int) (*partition.Solution, error)  { return tpce.PublishedHorticulture(k) }
+func seatsPublishedHC(k int) (*partition.Solution, error) { return seats.PublishedHorticulture(k) }
+func syntheticWithMix(f float64) workloads.Benchmark      { return synthetic.NewWithMix(f) }
+
+// TPCEResult bundles everything the TPC-E deep dive reports: the JECB
+// report (Tables 3–4, Example 10) and the per-class costs of JECB
+// (Figure 8) and the published Horticulture solution (Figure 9).
+type TPCEResult struct {
+	Report *core.Report
+	// JECBCost / HCCost are overall test-trace costs (the TPC-E bars of
+	// Figure 7).
+	JECBCost float64
+	HCCost   float64
+	// PerClassJECB / PerClassHC map class → fraction distributed.
+	PerClassJECB map[string]float64
+	PerClassHC   map[string]float64
+}
+
+// TPCE runs the §7.5 deep dive at the given scale.
+func TPCE(scale, txns, k int, seed int64) (*TPCEResult, error) {
+	r, err := load("tpce", scale, txns, 0.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	jsol, rep, err := r.jecb(k)
+	if err != nil {
+		return nil, err
+	}
+	jres, err := eval.Evaluate(r.db, jsol, r.test)
+	if err != nil {
+		return nil, err
+	}
+	hsol, err := tpce.PublishedHorticulture(k)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := eval.Evaluate(r.db, hsol, r.test)
+	if err != nil {
+		return nil, err
+	}
+	out := &TPCEResult{
+		Report:       rep,
+		JECBCost:     jres.Cost(),
+		HCCost:       hres.Cost(),
+		PerClassJECB: map[string]float64{},
+		PerClassHC:   map[string]float64{},
+	}
+	for _, c := range jres.Classes() {
+		out.PerClassJECB[c.Class] = c.Cost()
+	}
+	for _, c := range hres.Classes() {
+		out.PerClassHC[c.Class] = c.Cost()
+	}
+	return out, nil
+}

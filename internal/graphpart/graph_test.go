@@ -1,0 +1,225 @@
+package graphpart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clusters builds c cliques of size s with heavy internal edges, plus a
+// few light cross-cluster edges — the canonical OLTP co-access shape.
+func clusters(c, s int, cross int, seed int64) *Graph {
+	g := New(c * s)
+	for ci := 0; ci < c; ci++ {
+		base := ci * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				g.AddEdge(base+i, base+j, 10)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < cross; i++ {
+		u := rng.Intn(c * s)
+		v := rng.Intn(c * s)
+		if u/s != v/s {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+func TestPartitionPerfectClusters(t *testing.T) {
+	// 8 clusters onto 4 partitions with no cross edges: zero cut expected.
+	g := clusters(8, 10, 0, 1)
+	parts, err := Partition(g, 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(g, parts); cut != 0 {
+		t.Errorf("cut = %v, want 0", cut)
+	}
+	if imb := Imbalance(g, parts, 4); imb > 1.01 {
+		t.Errorf("imbalance = %v", imb)
+	}
+	// Each cluster must land on one partition.
+	for ci := 0; ci < 8; ci++ {
+		p := parts[ci*10]
+		for i := 1; i < 10; i++ {
+			if parts[ci*10+i] != p {
+				t.Fatalf("cluster %d split between %d and %d", ci, p, parts[ci*10+i])
+			}
+		}
+	}
+}
+
+func TestPartitionWithCrossEdges(t *testing.T) {
+	g := clusters(16, 8, 30, 2)
+	parts, err := Partition(g, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut must be bounded by the light cross edges only (never cut the
+	// heavy intra-cluster edges).
+	if cut := EdgeCut(g, parts); cut > 30 {
+		t.Errorf("cut = %v, want <= 30", cut)
+	}
+	if imb := Imbalance(g, parts, 4); imb > 1.3 {
+		t.Errorf("imbalance = %v", imb)
+	}
+}
+
+func TestPartitionSplitsGiantComponent(t *testing.T) {
+	// One path graph (single component) must still be split k ways.
+	n := 128
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	parts, err := Partition(g, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(g, parts, 4); imb > 1.3 {
+		t.Errorf("imbalance = %v", imb)
+	}
+	// A path splits with cut k-1 at best; allow some slack.
+	if cut := EdgeCut(g, parts); cut > 10 {
+		t.Errorf("cut = %v", cut)
+	}
+	used := map[int]bool{}
+	for _, p := range parts {
+		used[p] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("used %d of 4 partitions", len(used))
+	}
+}
+
+func TestPartitionK1AndEmpty(t *testing.T) {
+	g := clusters(2, 4, 0, 1)
+	parts, err := Partition(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatal("k=1 must map everything to 0")
+		}
+	}
+	empty := New(0)
+	parts, err = Partition(empty, 4, Options{})
+	if err != nil || len(parts) != 0 {
+		t.Errorf("empty graph: %v, %v", parts, err)
+	}
+	if _, err := Partition(g, 0, Options{}); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestVertexWeights(t *testing.T) {
+	g := New(3)
+	g.SetVertexWeight(0, 10)
+	if g.VertexWeight(0) != 10 || g.TotalVertexWeight() != 12 {
+		t.Errorf("weights = %v / %v", g.VertexWeight(0), g.TotalVertexWeight())
+	}
+	// Heavy vertex alone, two light ones together.
+	g.AddEdge(1, 2, 5)
+	parts, err := Partition(g, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[1] != parts[2] {
+		t.Error("connected light vertices must co-locate")
+	}
+	if parts[0] == parts[1] {
+		t.Error("heavy isolated vertex must take its own partition")
+	}
+}
+
+func TestEdgeAccumulationAndSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 1, 100) // ignored
+	if g.EdgeWeight(0, 1) != 3 || g.EdgeWeight(1, 0) != 3 {
+		t.Errorf("edge weight = %v", g.EdgeWeight(0, 1))
+	}
+	if g.EdgeWeight(1, 1) != 0 {
+		t.Error("self loops must be ignored")
+	}
+	if g.Degree(0) != 1 {
+		t.Errorf("degree = %d", g.Degree(0))
+	}
+	count := 0
+	g.Neighbors(0, func(v int, w float64) { count++ })
+	if count != 1 {
+		t.Errorf("neighbors visited = %d", count)
+	}
+}
+
+func TestEdgeCutAndPartWeights(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 7)
+	parts := []int{0, 0, 1, 1}
+	if cut := EdgeCut(g, parts); cut != 7 {
+		t.Errorf("cut = %v, want 7", cut)
+	}
+	w := PartWeights(g, parts, 2)
+	if w[0] != 2 || w[1] != 2 {
+		t.Errorf("part weights = %v", w)
+	}
+	if Imbalance(g, parts, 2) != 1 {
+		t.Errorf("imbalance = %v", Imbalance(g, parts, 2))
+	}
+}
+
+// Property: the partitioner always returns a valid, reasonably balanced
+// assignment regardless of graph shape.
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(5)))
+		}
+		k := 2 + rng.Intn(4)
+		parts, err := Partition(g, k, Options{Seed: seed})
+		if err != nil || len(parts) != n {
+			return false
+		}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		// Generous balance bound: random graphs with one big component
+		// still split within 2x average.
+		return Imbalance(g, parts, k) <= 2.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: refinement never worsens the cut produced by the constructive
+// phase on cluster graphs.
+func TestClusterCutBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := 4 + int(seed%5+5)%5 // 4..8 clusters
+		g := clusters(c, 6, 10, seed)
+		parts, err := Partition(g, 2, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Intra-cluster edges weigh 10; cross edges 1 (<=10 of them). A
+		// correct partitioner never cuts a clique: cut <= 10.
+		return EdgeCut(g, parts) <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package horticulture
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/schema"
+)
+
+// FromColumns builds a Horticulture-style solution from an explicit
+// per-table column assignment — used to apply the *published* solutions
+// the paper's comparison used (its authors supplied them) instead of
+// re-running the search. Tables mapped to "" and tables absent from the
+// map are replicated.
+func FromColumns(sc *schema.Schema, k int, columns map[string]string) (*partition.Solution, error) {
+	sol := partition.NewSolution("horticulture", k)
+	for _, t := range sc.Tables() {
+		col, ok := columns[t.Name]
+		if !ok || col == "" {
+			sol.Set(partition.NewReplicated(t.Name))
+			continue
+		}
+		if !t.HasColumn(col) {
+			return nil, fmt.Errorf("horticulture: table %s has no column %q", t.Name, col)
+		}
+		sol.Set(partition.NewByPath(t.Name, pkToColumn(t, col), partition.NewHash(k)))
+	}
+	for tbl := range columns {
+		if sc.Table(tbl) == nil {
+			return nil, fmt.Errorf("horticulture: unknown table %q", tbl)
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,203 @@
+package joingraph
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Split implements §5.2 case 2: when the graph admits no root attribute,
+// decompose it into subgraphs that do. Connected components (of the
+// table-level FK graph over non-replicated tables) become separate
+// subgraphs, and within a component an m-to-n junction — a non-replicated
+// table whose foreign keys point at two or more other non-replicated
+// tables — is split into one subgraph per side, each keeping the junction
+// table. The result is the list of leaf subgraphs from which partial
+// solutions are built.
+func (g *Graph) Split() []*Graph {
+	var out []*Graph
+	queue := []*Graph{g}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if len(cur.Tables) <= 1 || len(cur.RootAttributes()) > 0 {
+			out = append(out, cur)
+			continue
+		}
+		parts := cur.splitOnce()
+		if len(parts) <= 1 {
+			out = append(out, cur) // irreducible
+			continue
+		}
+		queue = append(queue, parts...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Tables, "|") < strings.Join(out[j].Tables, "|")
+	})
+	return out
+}
+
+// splitOnce performs one decomposition step: components first, then one
+// m-to-n junction split.
+func (g *Graph) splitOnce() []*Graph {
+	comps := g.tableComponents()
+	if len(comps) > 1 {
+		out := make([]*Graph, len(comps))
+		for i, c := range comps {
+			out[i] = g.restrict(c)
+		}
+		return out
+	}
+	// Single component: find an m-to-n junction table (source of FKs to
+	// two or more distinct non-replicated tables).
+	for _, t := range g.Tables {
+		targets := map[string]bool{}
+		for _, fk := range g.tableEdges[t] {
+			if fk.Table == t {
+				targets[fk.RefTable] = true
+			}
+		}
+		if len(targets) < 2 {
+			continue
+		}
+		// Remove the junction; each remaining component plus the junction
+		// becomes a subgraph.
+		comps := g.tableComponentsWithout(t)
+		if len(comps) < 2 {
+			continue
+		}
+		out := make([]*Graph, len(comps))
+		for i, c := range comps {
+			keep := map[string]bool{t: true}
+			for tbl := range c {
+				keep[tbl] = true
+			}
+			out[i] = g.restrict(keep)
+		}
+		return out
+	}
+	return nil
+}
+
+// tableComponents returns the connected components of the table-level FK
+// graph over non-replicated tables.
+func (g *Graph) tableComponents() []map[string]bool {
+	return componentsOf(g.Tables, func(t string) []string { return g.tableNeighbors(t, "") })
+}
+
+// tableComponentsWithout returns components after removing one table.
+func (g *Graph) tableComponentsWithout(skip string) []map[string]bool {
+	var tables []string
+	for _, t := range g.Tables {
+		if t != skip {
+			tables = append(tables, t)
+		}
+	}
+	return componentsOf(tables, func(t string) []string { return g.tableNeighbors(t, skip) })
+}
+
+func (g *Graph) tableNeighbors(t, skip string) []string {
+	var out []string
+	for _, fk := range g.tableEdges[t] {
+		o := fk.RefTable
+		if o == t {
+			o = fk.Table
+		}
+		if o != skip {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func componentsOf(tables []string, neighbors func(string) []string) []map[string]bool {
+	inSet := map[string]bool{}
+	for _, t := range tables {
+		inSet[t] = true
+	}
+	seen := map[string]bool{}
+	var out []map[string]bool
+	for _, s := range tables {
+		if seen[s] {
+			continue
+		}
+		comp := map[string]bool{}
+		stack := []string{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp[u] = true
+			for _, v := range neighbors(u) {
+				if inSet[v] && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// restrict builds the subgraph containing only the given non-replicated
+// tables. Nodes of excluded non-replicated tables are dropped (their
+// attributes can no longer be roots or intermediate hops); replicated
+// tables remain traversable.
+func (g *Graph) restrict(keep map[string]bool) *Graph {
+	dropTable := func(t string) bool {
+		// Drop nodes of non-replicated workload tables outside the kept
+		// set; keep everything else (replicated and pass-through tables).
+		if g.Replicated[t] {
+			return false
+		}
+		for _, wt := range g.Tables {
+			if wt == t {
+				return !keep[t]
+			}
+		}
+		return false
+	}
+	sub := &Graph{
+		sc:         g.sc,
+		Replicated: g.Replicated,
+		nodes:      map[node]schema.ColumnSet{},
+		rootable:   map[node]bool{},
+		out:        map[node][]node{},
+		tableEdges: map[string][]schema.ForeignKey{},
+	}
+	for _, t := range g.Tables {
+		if keep[t] {
+			sub.Tables = append(sub.Tables, t)
+		}
+	}
+	sort.Strings(sub.Tables)
+	for n, cs := range g.nodes {
+		if !dropTable(cs.Table) {
+			sub.nodes[n] = cs
+			sub.rootable[n] = g.rootable[n]
+		}
+	}
+	for from, tos := range g.out {
+		if _, ok := sub.nodes[from]; !ok {
+			continue
+		}
+		for _, to := range tos {
+			if _, ok := sub.nodes[to]; ok {
+				sub.out[from] = append(sub.out[from], to)
+			}
+		}
+	}
+	for t, fks := range g.tableEdges {
+		if dropTable(t) {
+			continue
+		}
+		for _, fk := range fks {
+			if !dropTable(fk.Table) && !dropTable(fk.RefTable) {
+				sub.tableEdges[t] = append(sub.tableEdges[t], fk)
+			}
+		}
+	}
+	return sub
+}

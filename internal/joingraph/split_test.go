@@ -1,0 +1,147 @@
+package joingraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// chainedMToNSchema has two m-to-n junctions: J1 references P1 and P2,
+// J2 references P2 and P3. No root attribute covers all five tables, and
+// one split is not enough — the decomposition must recurse.
+func chainedMToNSchema() *schema.Schema {
+	s := schema.New("chained")
+	s.AddTable("P1", schema.Cols("P1_ID", schema.Int, "P1_X", schema.Int), "P1_ID")
+	s.AddTable("P2", schema.Cols("P2_ID", schema.Int, "P2_X", schema.Int), "P2_ID")
+	s.AddTable("P3", schema.Cols("P3_ID", schema.Int, "P3_X", schema.Int), "P3_ID")
+	s.AddTable("J1", schema.Cols("J1_ID", schema.Int, "J1_P1", schema.Int, "J1_P2", schema.Int), "J1_ID")
+	s.AddTable("J2", schema.Cols("J2_ID", schema.Int, "J2_P2", schema.Int, "J2_P3", schema.Int), "J2_ID")
+	s.AddFK("J1", []string{"J1_P1"}, "P1", []string{"P1_ID"})
+	s.AddFK("J1", []string{"J1_P2"}, "P2", []string{"P2_ID"})
+	s.AddFK("J2", []string{"J2_P2"}, "P2", []string{"P2_ID"})
+	s.AddFK("J2", []string{"J2_P3"}, "P3", []string{"P3_ID"})
+	return s.MustValidate()
+}
+
+func TestChainedMToNSplit(t *testing.T) {
+	sc := chainedMToNSchema()
+	proc := sqlparse.MustProcedure("All", []string{"a", "b", "c"}, `
+		SELECT P1_X FROM P1 WHERE P1_ID = @a;
+		SELECT J1_ID FROM J1 WHERE J1_P1 = @a AND J1_P2 = @b;
+		SELECT P2_X FROM P2 WHERE P2_ID = @b;
+		SELECT J2_ID FROM J2 WHERE J2_P2 = @b AND J2_P3 = @c;
+		SELECT P3_X FROM P3 WHERE P3_ID = @c;
+	`)
+	a, err := sqlparse.Analyze(proc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(a, sc, nil)
+	if len(g.Tables) != 5 {
+		t.Fatalf("tables = %v", g.Tables)
+	}
+	if roots := g.RootAttributes(); len(roots) != 0 {
+		t.Fatalf("chained m-to-n must have no global roots; got %v", roots)
+	}
+	subs := g.Split()
+	if len(subs) < 3 {
+		t.Fatalf("split into %d subgraphs, want >= 3 (chained junctions)", len(subs))
+	}
+	// Every leaf admits roots (or is a single table), and every
+	// partitioned table appears in at least one leaf.
+	covered := map[string]bool{}
+	for _, sub := range subs {
+		if len(sub.Tables) > 1 && len(sub.RootAttributes()) == 0 {
+			t.Errorf("leaf %v has no roots", sub.Tables)
+		}
+		for _, tbl := range sub.Tables {
+			covered[tbl] = true
+		}
+	}
+	for _, tbl := range g.Tables {
+		if !covered[tbl] {
+			t.Errorf("table %s lost by the decomposition", tbl)
+		}
+	}
+	// P2 sits between both junctions: it must appear with J1's side and
+	// J2's side.
+	joined := ""
+	for _, sub := range subs {
+		joined += strings.Join(sub.Tables, "+") + " / "
+	}
+	if !strings.Contains(joined, "J1+P2") && !strings.Contains(joined, "J2+P2") {
+		t.Errorf("P2 not grouped with a junction: %s", joined)
+	}
+}
+
+// TestSplitKeepsReplicatedTraversal: replicated tables stay usable as
+// hop tables inside every leaf.
+func TestSplitKeepsReplicatedTraversal(t *testing.T) {
+	sc := chainedMToNSchema()
+	proc := sqlparse.MustProcedure("All", []string{"a", "b"}, `
+		SELECT J1_ID FROM J1 WHERE J1_P1 = @a AND J1_P2 = @b;
+		SELECT P1_X FROM P1 WHERE P1_ID = @a;
+		SELECT P2_X FROM P2 WHERE P2_ID = @b;
+	`)
+	a, err := sqlparse.Analyze(proc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P2 replicated: J1 and P1 remain, connected through P1's FK — case 1
+	// applies and no split is needed.
+	g := Build(a, sc, map[string]bool{"P2": true})
+	if len(g.Tables) != 2 {
+		t.Fatalf("tables = %v", g.Tables)
+	}
+	roots := g.RootAttributes()
+	if len(roots) == 0 {
+		t.Fatal("roots must exist once P2 is replicated")
+	}
+	// Roots may live in the replicated P2 (reached through J1_P2).
+	hasP2Root := false
+	for _, r := range roots {
+		if r.Table == "P2" {
+			hasP2Root = true
+		}
+	}
+	if !hasP2Root {
+		t.Logf("roots = %v (P2-rooted not required, P1 side suffices)", roots)
+	}
+	subs := g.Split()
+	if len(subs) != 1 {
+		t.Errorf("rooted graph must not split; got %d leaves", len(subs))
+	}
+}
+
+// TestSplitIrreducible: a junction whose removal does not disconnect the
+// remainder cannot be split further and is returned as-is.
+func TestSplitIrreducible(t *testing.T) {
+	s := schema.New("tri")
+	s.AddTable("X", schema.Cols("X_ID", schema.Int), "X_ID")
+	s.AddTable("Y", schema.Cols("Y_ID", schema.Int, "Y_X", schema.Int), "Y_ID")
+	s.AddTable("Z", schema.Cols("Z_ID", schema.Int, "Z_X", schema.Int, "Z_Y", schema.Int), "Z_ID")
+	s.AddFK("Y", []string{"Y_X"}, "X", []string{"X_ID"})
+	s.AddFK("Z", []string{"Z_X"}, "X", []string{"X_ID"})
+	s.AddFK("Z", []string{"Z_Y"}, "Y", []string{"Y_ID"})
+	s.MustValidate()
+	proc := sqlparse.MustProcedure("Tri", []string{"x", "y", "z"}, `
+		SELECT X_ID FROM X WHERE X_ID = @x;
+		SELECT Y_ID FROM Y WHERE Y_X = @x AND Y_ID = @y;
+		SELECT Z_ID FROM Z WHERE Z_X = @x AND Z_Y = @y AND Z_ID = @z;
+	`)
+	a, err := sqlparse.Analyze(proc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(a, s, nil)
+	// The triangle has a root (X_ID reachable from all three), so Split
+	// returns the graph unchanged.
+	if roots := g.RootAttributes(); len(roots) == 0 {
+		t.Fatal("triangle has X_ID as root")
+	}
+	if subs := g.Split(); len(subs) != 1 {
+		t.Errorf("rooted triangle must not split; got %d", len(subs))
+	}
+}

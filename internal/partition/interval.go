@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// IntervalMapper maps values by sorted, disjoint runs: run i covers the
+// closed value interval [Lo[i], Hi[i]] and maps to Label[i]; values
+// outside every run fall back. It is the compressed form of a lookup
+// table — adjacent trained values with the same label collapse into one
+// range rule, which both shrinks the rule table and generalizes to
+// unseen values *between* trained ones (the behaviour Schism gets from
+// decision-tree classifiers over ordered attributes).
+type IntervalMapper struct {
+	Parts    int
+	Lo, Hi   []value.Value
+	Label    []int
+	Fallback Mapper
+}
+
+// NewIntervals builds an interval mapper from explicit value → partition
+// entries: values are sorted, consecutive same-label values merge into
+// one run. fallback may be nil (hash).
+func NewIntervals(k int, entries map[value.Value]int, fallback Mapper) IntervalMapper {
+	if fallback == nil {
+		fallback = NewHash(k)
+	}
+	m := IntervalMapper{Parts: k, Fallback: fallback}
+	if len(entries) == 0 {
+		return m
+	}
+	vals := make([]value.Value, 0, len(entries))
+	for v := range entries {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	runLo, runHi := vals[0], vals[0]
+	runLabel := entries[vals[0]]
+	flush := func() {
+		m.Lo = append(m.Lo, runLo)
+		m.Hi = append(m.Hi, runHi)
+		m.Label = append(m.Label, runLabel)
+	}
+	for _, v := range vals[1:] {
+		if l := entries[v]; l == runLabel {
+			runHi = v
+			continue
+		} else {
+			flush()
+			runLo, runHi, runLabel = v, v, l
+		}
+	}
+	flush()
+	return m
+}
+
+// Runs returns the number of range rules.
+func (m IntervalMapper) Runs() int { return len(m.Lo) }
+
+// Map implements Mapper.
+func (m IntervalMapper) Map(v value.Value) int {
+	// Binary search for the first run whose Hi >= v.
+	i := sort.Search(len(m.Hi), func(i int) bool { return m.Hi[i].Compare(v) >= 0 })
+	if i < len(m.Lo) && m.Lo[i].Compare(v) <= 0 {
+		return m.Label[i]
+	}
+	return m.Fallback.Map(v)
+}
+
+// K implements Mapper.
+func (m IntervalMapper) K() int { return m.Parts }
+
+// Name implements Mapper.
+func (m IntervalMapper) Name() string { return "interval" }

@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func TestIntervalsCollapseRuns(t *testing.T) {
+	entries := map[value.Value]int{}
+	// Values 0..9 -> 0, 10..19 -> 1, 20..29 -> 0: three runs.
+	for i := int64(0); i < 30; i++ {
+		entries[value.NewInt(i)] = int(i/10) % 2
+	}
+	m := NewIntervals(2, entries, nil)
+	if m.Runs() != 3 {
+		t.Fatalf("runs = %d, want 3", m.Runs())
+	}
+	if m.Name() != "interval" || m.K() != 2 {
+		t.Errorf("name/k = %s/%d", m.Name(), m.K())
+	}
+	// Trained values map exactly.
+	for v, want := range entries {
+		if got := m.Map(v); got != want {
+			t.Errorf("Map(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestIntervalsGeneralizeWithinRuns(t *testing.T) {
+	// Train on even values only; odd values inside a run inherit its
+	// label.
+	entries := map[value.Value]int{}
+	for i := int64(0); i < 20; i += 2 {
+		entries[value.NewInt(i)] = int(i / 10)
+	}
+	m := NewIntervals(2, entries, nil)
+	if got := m.Map(value.NewInt(3)); got != 0 {
+		t.Errorf("Map(3) = %d, want 0 (inside the 0..8 run)", got)
+	}
+	if got := m.Map(value.NewInt(15)); got != 1 {
+		t.Errorf("Map(15) = %d, want 1 (inside the 10..18 run)", got)
+	}
+	// Outside every run: deterministic hash fallback.
+	out := m.Map(value.NewInt(100))
+	if out < 0 || out >= 2 || out != m.Map(value.NewInt(100)) {
+		t.Errorf("fallback = %d", out)
+	}
+}
+
+func TestIntervalsEmptyAndSingle(t *testing.T) {
+	empty := NewIntervals(4, nil, nil)
+	if empty.Runs() != 0 {
+		t.Errorf("runs = %d", empty.Runs())
+	}
+	v := value.NewInt(7)
+	if got := empty.Map(v); got != NewHash(4).Map(v) {
+		t.Error("empty mapper must pure-hash")
+	}
+	single := NewIntervals(4, map[value.Value]int{v: 3}, nil)
+	if single.Runs() != 1 || single.Map(v) != 3 {
+		t.Errorf("single = %d runs, Map=%d", single.Runs(), single.Map(v))
+	}
+}
+
+// TestIntervalsMatchLookupProperty: on trained values, the interval
+// mapper always agrees with the raw lookup table it compressed.
+func TestIntervalsMatchLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := map[value.Value]int{}
+		k := 2 + rng.Intn(6)
+		for i := 0; i < 50; i++ {
+			entries[value.NewInt(rng.Int63n(200))] = rng.Intn(k)
+		}
+		m := NewIntervals(k, entries, nil)
+		if m.Runs() > len(entries) {
+			return false // compression must not expand
+		}
+		for v, want := range entries {
+			if m.Map(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalMarshalRoundTrip(t *testing.T) {
+	entries := map[value.Value]int{}
+	for i := int64(0); i < 12; i++ {
+		entries[value.NewInt(i*3)] = int(i % 3)
+	}
+	m := NewIntervals(3, entries, nil)
+	sol := NewSolution("s", 3)
+	sol.Set(NewByPath("T", NewJoinPathForTest("T", "A"), m))
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Solution
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	gm := got.Table("T").Mapper
+	if gm.Name() != "interval" {
+		t.Fatalf("mapper = %s", gm.Name())
+	}
+	for i := int64(-5); i < 45; i++ {
+		v := value.NewInt(i)
+		if gm.Map(v) != m.Map(v) {
+			t.Errorf("mapping changed at %d", i)
+		}
+	}
+	// Mismatched arrays error.
+	var bad Solution
+	src := `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"interval","k":2,"lo":["i:1"],"hi":[],"label":[0]}}]}`
+	if err := json.Unmarshal([]byte(src), &bad); err == nil {
+		t.Error("interval array mismatch must error")
+	}
+}
+
+// NewJoinPathForTest builds a trivial {PK} -> {col} path for marshal
+// tests (marshaling does not validate against a schema).
+func NewJoinPathForTest(table, col string) schema.JoinPath {
+	return schema.NewJoinPath(
+		schema.ColumnSet{Table: table, Columns: []string{"ID"}},
+		schema.ColumnSet{Table: table, Columns: []string{col}},
+	)
+}

@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// The JSON form of a solution, so a partitioning computed once (cmd/jecb)
+// can be shipped to the routing tier and loaded later. Mapping functions
+// serialize by family: hash and range are parameters-only, lookup tables
+// carry their value → partition entries.
+
+type solutionJSON struct {
+	Name   string              `json:"name"`
+	K      int                 `json:"k"`
+	Tables []tableSolutionJSON `json:"tables"`
+}
+
+type tableSolutionJSON struct {
+	Table     string      `json:"table"`
+	Replicate bool        `json:"replicate,omitempty"`
+	Path      [][]string  `json:"path,omitempty"` // node = [table, col, col...]
+	Mapper    *mapperJSON `json:"mapper,omitempty"`
+}
+
+type mapperJSON struct {
+	Kind   string   `json:"kind"`
+	K      int      `json:"k"`
+	Bounds []string `json:"bounds,omitempty"` // range split points (value text)
+	// Lookup entries as parallel arrays of value text and partition.
+	Values []string `json:"values,omitempty"`
+	Parts  []int    `json:"parts,omitempty"`
+	// Interval runs as parallel arrays.
+	Lo    []string `json:"lo,omitempty"`
+	Hi    []string `json:"hi,omitempty"`
+	Label []int    `json:"label,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Solution.
+func (s *Solution) MarshalJSON() ([]byte, error) {
+	out := solutionJSON{Name: s.Name, K: s.K}
+	names := make([]string, 0, len(s.Tables))
+	for n := range s.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ts := s.Tables[n]
+		tj := tableSolutionJSON{Table: ts.Table, Replicate: ts.Replicate}
+		if !ts.Replicate {
+			for _, node := range ts.Path.Nodes {
+				entry := append([]string{node.Table}, node.Columns...)
+				tj.Path = append(tj.Path, entry)
+			}
+			mj, err := marshalMapper(ts.Mapper)
+			if err != nil {
+				return nil, fmt.Errorf("partition: table %s: %w", n, err)
+			}
+			tj.Mapper = mj
+		}
+		out.Tables = append(out.Tables, tj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Solution.
+func (s *Solution) UnmarshalJSON(data []byte) error {
+	var in solutionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	s.Name = in.Name
+	s.K = in.K
+	s.Tables = make(map[string]*TableSolution, len(in.Tables))
+	for _, tj := range in.Tables {
+		ts := &TableSolution{Table: tj.Table, Replicate: tj.Replicate}
+		if !tj.Replicate {
+			for _, entry := range tj.Path {
+				if len(entry) < 2 {
+					return fmt.Errorf("partition: table %s: malformed path node %v", tj.Table, entry)
+				}
+				ts.Path.Nodes = append(ts.Path.Nodes, schema.ColumnSet{
+					Table:   entry[0],
+					Columns: append([]string(nil), entry[1:]...),
+				})
+			}
+			m, err := unmarshalMapper(tj.Mapper)
+			if err != nil {
+				return fmt.Errorf("partition: table %s: %w", tj.Table, err)
+			}
+			ts.Mapper = m
+		}
+		s.Tables[tj.Table] = ts
+	}
+	return nil
+}
+
+func marshalMapper(m Mapper) (*mapperJSON, error) {
+	switch mm := m.(type) {
+	case HashMapper:
+		return &mapperJSON{Kind: "hash", K: mm.Parts}, nil
+	case RangeMapper:
+		mj := &mapperJSON{Kind: "range", K: mm.Parts}
+		for _, b := range mm.Bounds {
+			t, err := b.MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			mj.Bounds = append(mj.Bounds, string(t))
+		}
+		return mj, nil
+	case LookupMapper:
+		mj := &mapperJSON{Kind: "lookup", K: mm.Parts}
+		// Deterministic entry order: sort by value text.
+		type entry struct {
+			text string
+			part int
+		}
+		var entries []entry
+		for v, p := range mm.Table {
+			t, err := v.MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, entry{string(t), p})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].text < entries[j].text })
+		for _, e := range entries {
+			mj.Values = append(mj.Values, e.text)
+			mj.Parts = append(mj.Parts, e.part)
+		}
+		return mj, nil
+	case IntervalMapper:
+		mj := &mapperJSON{Kind: "interval", K: mm.Parts}
+		for i := range mm.Lo {
+			lo, err := mm.Lo[i].MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := mm.Hi[i].MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			mj.Lo = append(mj.Lo, string(lo))
+			mj.Hi = append(mj.Hi, string(hi))
+			mj.Label = append(mj.Label, mm.Label[i])
+		}
+		return mj, nil
+	case nil:
+		return nil, fmt.Errorf("nil mapper")
+	default:
+		return nil, fmt.Errorf("unsupported mapper %q", m.Name())
+	}
+}
+
+func unmarshalMapper(mj *mapperJSON) (Mapper, error) {
+	if mj == nil {
+		return nil, fmt.Errorf("missing mapper")
+	}
+	switch mj.Kind {
+	case "hash":
+		return NewHash(mj.K), nil
+	case "range":
+		m := RangeMapper{Parts: mj.K}
+		for _, t := range mj.Bounds {
+			var v value.Value
+			if err := v.UnmarshalText([]byte(t)); err != nil {
+				return nil, err
+			}
+			m.Bounds = append(m.Bounds, v)
+		}
+		return m, nil
+	case "lookup":
+		if len(mj.Values) != len(mj.Parts) {
+			return nil, fmt.Errorf("lookup arrays mismatch: %d values, %d parts",
+				len(mj.Values), len(mj.Parts))
+		}
+		table := make(map[value.Value]int, len(mj.Values))
+		for i, t := range mj.Values {
+			var v value.Value
+			if err := v.UnmarshalText([]byte(t)); err != nil {
+				return nil, err
+			}
+			table[v] = mj.Parts[i]
+		}
+		return NewLookup(mj.K, table, nil), nil
+	case "interval":
+		if len(mj.Lo) != len(mj.Hi) || len(mj.Lo) != len(mj.Label) {
+			return nil, fmt.Errorf("interval arrays mismatch: %d/%d/%d",
+				len(mj.Lo), len(mj.Hi), len(mj.Label))
+		}
+		m := IntervalMapper{Parts: mj.K, Fallback: NewHash(mj.K)}
+		for i := range mj.Lo {
+			var lo, hi value.Value
+			if err := lo.UnmarshalText([]byte(mj.Lo[i])); err != nil {
+				return nil, err
+			}
+			if err := hi.UnmarshalText([]byte(mj.Hi[i])); err != nil {
+				return nil, err
+			}
+			m.Lo = append(m.Lo, lo)
+			m.Hi = append(m.Hi, hi)
+			m.Label = append(m.Label, mj.Label[i])
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("unknown mapper kind %q", mj.Kind)
+	}
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/value"
+)
+
+func roundTrip(t *testing.T, sol *Solution) *Solution {
+	t.Helper()
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Solution
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	return &got
+}
+
+func TestMarshalRoundTripHash(t *testing.T) {
+	sol := NewSolution("jecb", 4)
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), NewHash(4)))
+	sol.Set(NewReplicated("HOLDING_SUMMARY"))
+	got := roundTrip(t, sol)
+	if got.Name != "jecb" || got.K != 4 {
+		t.Errorf("header = %q k=%d", got.Name, got.K)
+	}
+	if err := got.Validate(fixture.CustInfoSchema()); err != nil {
+		t.Fatalf("round-tripped solution invalid: %v", err)
+	}
+	ts := got.Table("TRADE")
+	if !ts.Path.Equal(fixture.TradePath()) {
+		t.Errorf("path = %v", ts.Path)
+	}
+	if ts.Mapper.Name() != "hash" || ts.Mapper.K() != 4 {
+		t.Errorf("mapper = %s/%d", ts.Mapper.Name(), ts.Mapper.K())
+	}
+	if !got.Table("HOLDING_SUMMARY").Replicate {
+		t.Error("replication lost")
+	}
+	// Mapping behaviour identical.
+	for i := int64(0); i < 50; i++ {
+		v := value.NewInt(i)
+		if ts.Mapper.Map(v) != NewHash(4).Map(v) {
+			t.Fatalf("hash mapping changed at %d", i)
+		}
+	}
+}
+
+func TestMarshalRoundTripLookupAndRange(t *testing.T) {
+	lookup := NewLookup(3, map[value.Value]int{
+		value.NewInt(1):        2,
+		value.NewString("abc"): 0,
+		value.NewFloat(2.5):    1,
+	}, nil)
+	rng := NewRangeFromValues(3, []value.Value{
+		value.NewInt(1), value.NewInt(5), value.NewInt(9), value.NewInt(13),
+	})
+	sol := NewSolution("mixed", 3)
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), lookup))
+	sol.Set(NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), rng))
+	got := roundTrip(t, sol)
+
+	lm := got.Table("TRADE").Mapper
+	if lm.Name() != "lookup" {
+		t.Fatalf("mapper = %s", lm.Name())
+	}
+	probes := []value.Value{
+		value.NewInt(1), value.NewString("abc"), value.NewFloat(2.5),
+		value.NewInt(99), // fallback path
+	}
+	for _, v := range probes {
+		if lm.Map(v) != lookup.Map(v) {
+			t.Errorf("lookup mapping changed at %v", v)
+		}
+	}
+	rm := got.Table("CUSTOMER_ACCOUNT").Mapper
+	if rm.Name() != "range" {
+		t.Fatalf("mapper = %s", rm.Name())
+	}
+	for i := int64(-2); i < 20; i++ {
+		v := value.NewInt(i)
+		if rm.Map(v) != rng.Map(v) {
+			t.Errorf("range mapping changed at %d", i)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	sol := NewSolution("jecb", 2)
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), NewLookup(2, map[value.Value]int{
+		value.NewInt(3): 1, value.NewInt(1): 0, value.NewInt(2): 1,
+	}, nil)))
+	a, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("marshaling must be deterministic")
+	}
+	if !strings.Contains(string(a), `"kind":"lookup"`) {
+		t.Errorf("json = %s", a)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T"]],"mapper":{"kind":"hash","k":2}}]}`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]]}]}`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"nope","k":2}}]}`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"lookup","k":2,"values":["i:1"],"parts":[]}}]}`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"lookup","k":2,"values":["zz:1"],"parts":[0]}}]}`,
+		`{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"range","k":2,"bounds":["zz:1"]}}]}`,
+	}
+	for i, src := range cases {
+		var sol Solution
+		if err := json.Unmarshal([]byte(src), &sol); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMarshalRejectsCustomMapper(t *testing.T) {
+	sol := NewSolution("x", 2)
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), unknownMapper{}))
+	if _, err := json.Marshal(sol); err == nil {
+		t.Error("unknown mapper must not marshal")
+	}
+	sol2 := NewSolution("x", 2)
+	sol2.Set(&TableSolution{Table: "TRADE", Path: fixture.TradePath()})
+	if _, err := json.Marshal(sol2); err == nil {
+		t.Error("nil mapper must not marshal")
+	}
+}
+
+type unknownMapper struct{}
+
+func (unknownMapper) Map(value.Value) int { return 0 }
+func (unknownMapper) K() int              { return 2 }
+func (unknownMapper) Name() string        { return "custom" }

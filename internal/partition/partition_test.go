@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/value"
+)
+
+func TestHashMapperProperties(t *testing.T) {
+	m := NewHash(8)
+	if m.K() != 8 || m.Name() != "hash" {
+		t.Errorf("K/Name = %d/%s", m.K(), m.Name())
+	}
+	f := func(n int64) bool {
+		p := m.Map(value.NewInt(n))
+		return p >= 0 && p < 8 && p == m.Map(value.NewInt(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// All partitions should be hit over a modest domain.
+	hit := map[int]bool{}
+	for i := int64(0); i < 1000; i++ {
+		hit[m.Map(value.NewInt(i))] = true
+	}
+	if len(hit) != 8 {
+		t.Errorf("hash covered %d of 8 partitions", len(hit))
+	}
+}
+
+func TestHashMapperPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHash(0)
+}
+
+func TestRangeMapper(t *testing.T) {
+	var vals []value.Value
+	for i := int64(0); i < 100; i++ {
+		vals = append(vals, value.NewInt(i))
+	}
+	m := NewRangeFromValues(4, vals)
+	if m.K() != 4 || m.Name() != "range" {
+		t.Errorf("K/Name = %d/%s", m.K(), m.Name())
+	}
+	// Equi-depth: values 0..24 -> 0, 25..49 -> 1, etc.
+	if m.Map(value.NewInt(0)) != 0 || m.Map(value.NewInt(99)) != 3 {
+		t.Errorf("ends: %d, %d", m.Map(value.NewInt(0)), m.Map(value.NewInt(99)))
+	}
+	// Monotone.
+	prev := -1
+	for i := int64(0); i < 100; i++ {
+		p := m.Map(value.NewInt(i))
+		if p < prev {
+			t.Fatalf("range mapper not monotone at %d: %d < %d", i, p, prev)
+		}
+		prev = p
+	}
+	// Out-of-sample values clamp to valid partitions.
+	if p := m.Map(value.NewInt(10_000)); p != 3 {
+		t.Errorf("overflow -> %d", p)
+	}
+	if p := m.Map(value.NewInt(-5)); p != 0 {
+		t.Errorf("underflow -> %d", p)
+	}
+	// Empty sample: everything goes to partition 0.
+	empty := NewRangeFromValues(4, nil)
+	if empty.Map(value.NewInt(7)) != 0 {
+		t.Error("empty range mapper must map to 0")
+	}
+}
+
+func TestRangeBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var vals []value.Value
+		for i := 0; i < 400; i++ {
+			vals = append(vals, value.NewInt(rng.Int63n(1000)))
+		}
+		m := NewRangeFromValues(4, vals)
+		counts := make([]int, 4)
+		for _, v := range vals {
+			counts[m.Map(v)]++
+		}
+		// Equi-depth over the sample: no partition above half the data
+		// (loose bound tolerating duplicates).
+		for _, c := range counts {
+			if c > 200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupMapper(t *testing.T) {
+	table := map[value.Value]int{
+		value.NewInt(1): 3,
+		value.NewInt(2): 0,
+	}
+	m := NewLookup(4, table, nil)
+	if m.K() != 4 || m.Name() != "lookup" {
+		t.Errorf("K/Name = %d/%s", m.K(), m.Name())
+	}
+	if m.Map(value.NewInt(1)) != 3 || m.Map(value.NewInt(2)) != 0 {
+		t.Error("lookup hits wrong")
+	}
+	// Unseen values fall back to hash, deterministically in range.
+	p := m.Map(value.NewInt(999))
+	if p < 0 || p >= 4 || p != m.Map(value.NewInt(999)) {
+		t.Errorf("fallback = %d", p)
+	}
+	// Explicit fallback.
+	m2 := NewLookup(4, table, NewHash(4))
+	if m2.Map(value.NewInt(999)) != p {
+		t.Error("explicit hash fallback must agree")
+	}
+}
+
+func TestTableSolutionAttributeAndString(t *testing.T) {
+	ts := NewByPath("TRADE", fixture.TradePath(), NewHash(2))
+	attr, ok := ts.Attribute()
+	if !ok || attr.Table != "CUSTOMER_ACCOUNT" || attr.Column != "CA_C_ID" {
+		t.Errorf("attribute = %v, %v", attr, ok)
+	}
+	if s := ts.String(); !strings.Contains(s, "TRADE:") || !strings.Contains(s, "(hash)") {
+		t.Errorf("String = %q", s)
+	}
+	rep := NewReplicated("BROKER")
+	if _, ok := rep.Attribute(); ok {
+		t.Error("replicated table has no attribute")
+	}
+	if rep.String() != "BROKER: replicated" {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestTableSolutionValidate(t *testing.T) {
+	sc := fixture.CustInfoSchema()
+	good := NewByPath("TRADE", fixture.TradePath(), NewHash(2))
+	if err := good.Validate(sc); err != nil {
+		t.Errorf("valid solution rejected: %v", err)
+	}
+	if err := NewReplicated("TRADE").Validate(sc); err != nil {
+		t.Errorf("replication rejected: %v", err)
+	}
+	cases := []*TableSolution{
+		NewReplicated("NOPE"),
+		NewByPath("TRADE", fixture.TradePath(), nil),
+		NewByPath("CUSTOMER_ACCOUNT", fixture.TradePath(), NewHash(2)), // wrong source table
+		// Path reduced to its composite source node: multi-column
+		// destination violates Definition 2.
+		{Table: "HOLDING_SUMMARY", Path: fixture.HSPath().Trunk().Trunk().Trunk(), Mapper: NewHash(2)},
+	}
+	for i, ts := range cases {
+		if err := ts.Validate(sc); err == nil {
+			t.Errorf("case %d: expected validation error for %v", i, ts)
+		}
+	}
+	// Path whose source is not the PK.
+	bad := NewByPath("TRADE", fixture.TradePath(), NewHash(2))
+	bad.Path.Nodes = bad.Path.Nodes[1:] // starts at T_CA_ID, not the key
+	if err := bad.Validate(sc); err == nil {
+		t.Error("non-PK source must fail validation")
+	}
+}
+
+func TestSolutionValidateAndString(t *testing.T) {
+	sc := fixture.CustInfoSchema()
+	sol := NewSolution("jecb", 2)
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), NewHash(2)))
+	sol.Set(NewByPath("HOLDING_SUMMARY", fixture.HSPath(), NewHash(2)))
+	sol.Set(NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), NewHash(2)))
+	if err := sol.Validate(sc); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sol.Table("TRADE") == nil || sol.Table("NOPE") != nil {
+		t.Error("Table lookup wrong")
+	}
+	s := sol.String()
+	for _, want := range []string{"CUSTOMER_ACCOUNT", "HOLDING_SUMMARY", "TRADE", "k=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	// Mapper k mismatch.
+	sol.Set(NewByPath("TRADE", fixture.TradePath(), NewHash(3)))
+	if err := sol.Validate(sc); err == nil {
+		t.Error("k mismatch must fail validation")
+	}
+	// Bad k.
+	bad := NewSolution("x", 0)
+	if err := bad.Validate(sc); err == nil {
+		t.Error("k=0 must fail validation")
+	}
+}
+
+func TestMapperInterfaceCompliance(t *testing.T) {
+	var _ Mapper = HashMapper{}
+	var _ Mapper = RangeMapper{}
+	var _ Mapper = LookupMapper{}
+	// Reflect sanity: distinct names.
+	names := map[string]bool{}
+	for _, m := range []Mapper{NewHash(2), NewRangeFromValues(2, nil), NewLookup(2, nil, nil)} {
+		names[m.Name()] = true
+	}
+	if !reflect.DeepEqual(names, map[string]bool{"hash": true, "range": true, "lookup": true}) {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,48 @@
+package router_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fixture"
+	"repro/internal/partition"
+	"repro/internal/router"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// Example routes CustInfo invocations under the §3 partitioning: customer
+// 1's data lives on partition 0 and customer 2's on partition 1, so the
+// router sends each call to exactly one partition.
+func Example() {
+	d := fixture.CustInfoDB()
+	lookup := partition.NewLookup(2, map[value.Value]int{
+		value.NewInt(1): 0,
+		value.NewInt(2): 1,
+	}, nil)
+	sol := partition.NewSolution("jecb", 2)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), lookup))
+	sol.Set(partition.NewByPath("HOLDING_SUMMARY", fixture.HSPath(), lookup))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), lookup))
+
+	a, err := sqlparse.Analyze(fixture.CustInfoProcedure(), d.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := router.New(d, sol, []*sqlparse.Analysis{a})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("routing on:", rt.RoutingParam("CustInfo"))
+	for cust := int64(1); cust <= 2; cust++ {
+		parts := rt.Route("CustInfo", map[string]value.Value{
+			"cust_id": value.NewInt(cust),
+		})
+		fmt.Printf("customer %d -> partitions %v\n", cust, parts)
+	}
+	// Output:
+	// routing on: cust_id
+	// customer 1 -> partitions [0]
+	// customer 2 -> partitions [1]
+}

@@ -1,0 +1,265 @@
+// Package router implements the runtime side of a deployed partitioning
+// (paper §3, "Finally, as with any partitioning strategy ... one needs to
+// route transactions to partitions"): given a partitioning solution and
+// the code analysis of each transaction class, it selects a routing
+// attribute among the class's parameter-bound columns, builds a lookup
+// table over the join path from that attribute to the partitioning
+// attribute, and routes each invocation to a single partition — falling
+// back to broadcast when no compatible routing attribute exists.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/partition"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// Router routes transaction invocations (class name + parameter values)
+// to partitions under a fixed solution.
+type Router struct {
+	d   *db.DB
+	sol *partition.Solution
+	// routes maps class name to its routing plan.
+	routes map[string]*classRoute
+	// fwd is the directed FK-component adjacency used to recognize
+	// attributes that carry the same values as a solution's partitioning
+	// attribute (a filter on the replicated CUSTOMER's C_TAX_ID still
+	// pins the partition of the customer's accounts).
+	fwd map[schema.ColumnRef][]schema.ColumnRef
+}
+
+// classRoute is the routing plan of one transaction class.
+type classRoute struct {
+	class string
+	// param is the input parameter used for routing ("" = broadcast).
+	param string
+	// lookup maps a parameter value to the partition set that stores the
+	// matching tuples (the §3 lookup-table approach).
+	lookup map[value.Value][]int
+	// broadcast is set when no usable routing attribute exists.
+	broadcast bool
+}
+
+// New builds a router. For each class it scans the input-parameter
+// filters discovered by the SQL analysis, keeps those whose filtered
+// column belongs to a partitioned table, and materializes a lookup table
+// column-value → partitions by scanning that table once.
+func New(d *db.DB, sol *partition.Solution, analyses []*sqlparse.Analysis) (*Router, error) {
+	if err := sol.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		d: d, sol: sol,
+		routes: map[string]*classRoute{},
+		fwd:    map[schema.ColumnRef][]schema.ColumnRef{},
+	}
+	for _, fk := range d.Schema().ForeignKeys {
+		for i := range fk.Columns {
+			src := schema.ColumnRef{Table: fk.Table, Column: fk.Columns[i]}
+			dst := schema.ColumnRef{Table: fk.RefTable, Column: fk.RefColumns[i]}
+			r.fwd[src] = append(r.fwd[src], dst)
+		}
+	}
+	for _, a := range analyses {
+		route, err := r.plan(a)
+		if err != nil {
+			return nil, err
+		}
+		r.routes[a.Proc.Name] = route
+	}
+	return r, nil
+}
+
+// plan picks the routing attribute for one class: among all (parameter,
+// filtered column) candidates it builds each lookup table and keeps the
+// one whose values map to the fewest partitions on average — the
+// "compatible and finer than the partitioning attribute" criterion of §3.
+// A candidate no better than broadcasting is rejected.
+func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
+	route := &classRoute{class: a.Proc.Name}
+	var params []string
+	for p := range a.InputFilters {
+		params = append(params, p)
+	}
+	sort.Strings(params)
+	bestScore := float64(r.sol.K) // broadcast baseline
+	for _, p := range params {
+		for _, col := range a.InputFilters[p] {
+			lookup, err := r.buildLookup(col)
+			if err != nil {
+				return nil, err
+			}
+			if len(lookup) == 0 {
+				continue
+			}
+			total := 0
+			for _, ps := range lookup {
+				total += len(ps)
+			}
+			score := float64(total) / float64(len(lookup))
+			if score < bestScore-1e-9 {
+				bestScore = score
+				route.param = p
+				route.lookup = lookup
+			}
+		}
+	}
+	if route.lookup == nil {
+		route.broadcast = true
+	}
+	return route, nil
+}
+
+// buildLookup maps each value of the routing column to the set of
+// partitions holding the matching data. For a partitioned table it places
+// every row under the solution's join path. For a replicated or uncovered
+// table it still routes when some column of the table carries the same
+// values as a partitioned table's attribute (connected by FK-component
+// chains): the paper's "compatible and finer" criterion — a CUSTOMER
+// filter pins the partition of the customer's accounts even though
+// CUSTOMER itself is replicated. Returns nil when neither applies.
+func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, error) {
+	t := r.d.Table(col.Table)
+	ci := t.Meta().ColumnIndex(col.Column)
+	if ci < 0 {
+		return nil, fmt.Errorf("router: %s has no column %s", col.Table, col.Column)
+	}
+	ts := r.sol.Table(col.Table)
+	var place func(k value.Key, row value.Tuple) (int, bool)
+	if ts != nil && !ts.Replicate {
+		ev := db.NewPathEval(r.d, ts.Path)
+		place = func(k value.Key, row value.Tuple) (int, bool) {
+			v, ok := ev.Eval(k)
+			if !ok {
+				return 0, false
+			}
+			return ts.Mapper.Map(v), true
+		}
+	} else if mapper, vi, ok := r.equivalentAttribute(t.Meta()); ok {
+		place = func(k value.Key, row value.Tuple) (int, bool) {
+			return mapper.Map(row[vi]), true
+		}
+	} else {
+		return nil, nil
+	}
+	sets := map[value.Value]map[int]bool{}
+	t.Scan(func(k value.Key, row value.Tuple) bool {
+		p, ok := place(k, row)
+		if !ok {
+			return true // unplaceable row: ignore for routing
+		}
+		set, ok := sets[row[ci]]
+		if !ok {
+			set = map[int]bool{}
+			sets[row[ci]] = set
+		}
+		set[p] = true
+		return true
+	})
+	out := make(map[value.Value][]int, len(sets))
+	for v, set := range sets {
+		ps := make([]int, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		out[v] = ps
+	}
+	return out, nil
+}
+
+// equivalentAttribute finds a column of meta whose values coincide (via
+// directed FK-component chains, in either direction) with some
+// partitioned table's partitioning attribute; it returns that table's
+// mapper and the column index.
+func (r *Router) equivalentAttribute(meta *schema.Table) (partition.Mapper, int, bool) {
+	names := make([]string, 0, len(r.sol.Tables))
+	for n := range r.sol.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		us := r.sol.Tables[n]
+		if us.Replicate {
+			continue
+		}
+		x, ok := us.Attribute()
+		if !ok {
+			continue
+		}
+		for vi, colDecl := range meta.Columns {
+			c := schema.ColumnRef{Table: meta.Name, Column: colDecl.Name}
+			if r.valueEquivalent(c, x) {
+				return us.Mapper, vi, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// valueEquivalent reports whether two attributes carry the same values
+// tuple-for-tuple: connected by a directed chain of FK component links in
+// either direction.
+func (r *Router) valueEquivalent(a, b schema.ColumnRef) bool {
+	return a == b || r.fwdReach(a, b) || r.fwdReach(b, a)
+}
+
+func (r *Router) fwdReach(from, to schema.ColumnRef) bool {
+	seen := map[schema.ColumnRef]bool{from: true}
+	queue := []schema.ColumnRef{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			return true
+		}
+		for _, next := range r.fwd[cur] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// Route returns the partitions an invocation must run on. A single-element
+// result is a single-partition (local) execution; the full partition list
+// means broadcast. Unknown classes and unseen routing values broadcast.
+func (r *Router) Route(class string, params map[string]value.Value) []int {
+	route, ok := r.routes[class]
+	if !ok || route.broadcast {
+		return r.all()
+	}
+	v, ok := params[route.param]
+	if !ok {
+		return r.all()
+	}
+	ps, ok := route.lookup[v]
+	if !ok || len(ps) == 0 {
+		return r.all()
+	}
+	return ps
+}
+
+// RoutingParam reports the parameter a class routes on ("" when the class
+// broadcasts).
+func (r *Router) RoutingParam(class string) string {
+	if route, ok := r.routes[class]; ok && !route.broadcast {
+		return route.param
+	}
+	return ""
+}
+
+func (r *Router) all() []int {
+	out := make([]int, r.sol.K)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinPath is the paper's Definition 2: a sequence of attribute sets
+// {X_0, X_1, ..., X_n} where X_n is a single attribute, each X_i lies in
+// one table, and consecutive sets are connected either within a table
+// (X_i must then be that table's primary key) or across tables (X_i must
+// then be a foreign key referring to X_{i+1}).
+//
+// A join path p(key(T), X) is a total function from tuples of T to values
+// of X: each hop is a functional dependency, so the whole path is one too.
+// Evaluation against data lives in internal/db; this type carries the
+// structural definition and the structural operations (validation, prefix
+// tests, concatenation) the partitioning algorithms need.
+type JoinPath struct {
+	Nodes []ColumnSet
+}
+
+// NewJoinPath builds a path from nodes without validating; call Validate
+// against a schema to check Definition 2.
+func NewJoinPath(nodes ...ColumnSet) JoinPath { return JoinPath{Nodes: nodes} }
+
+// Source returns the first node (X_0), typically the primary key of the
+// partitioned table.
+func (p JoinPath) Source() ColumnSet {
+	if len(p.Nodes) == 0 {
+		return ColumnSet{}
+	}
+	return p.Nodes[0]
+}
+
+// SourceTable returns the table of X_0.
+func (p JoinPath) SourceTable() string { return p.Source().Table }
+
+// Dest returns the destination attribute X_n. It panics on an empty path
+// and on a multi-column final node (which Validate rejects).
+func (p JoinPath) Dest() ColumnRef {
+	last := p.Nodes[len(p.Nodes)-1]
+	if len(last.Columns) != 1 {
+		panic(fmt.Sprintf("schema: join path destination %v is not a single attribute", last))
+	}
+	return ColumnRef{Table: last.Table, Column: last.Columns[0]}
+}
+
+// Len returns the number of nodes.
+func (p JoinPath) Len() int { return len(p.Nodes) }
+
+// Equal reports structural equality of two paths.
+func (p JoinPath) Equal(q JoinPath) bool {
+	if len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if !p.Nodes[i].Equal(q.Nodes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a node-wise prefix of p.
+func (p JoinPath) HasPrefix(q JoinPath) bool {
+	if len(q.Nodes) > len(p.Nodes) {
+		return false
+	}
+	for i := range q.Nodes {
+		if !p.Nodes[i].Equal(q.Nodes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Trunk returns the path without its final node (p − X in the paper's
+// Definition 13 phrasing). It returns an empty path for single-node paths.
+func (p JoinPath) Trunk() JoinPath {
+	if len(p.Nodes) <= 1 {
+		return JoinPath{}
+	}
+	return JoinPath{Nodes: p.Nodes[:len(p.Nodes)-1]}
+}
+
+// Concat appends q to p. The first node of q must equal the last node of p
+// (they overlap on the shared attribute set), mirroring the paper's
+// Tree(W,Y) = Tree(W,X) + p(X,Y) composition.
+func (p JoinPath) Concat(q JoinPath) (JoinPath, error) {
+	if len(p.Nodes) == 0 {
+		return q, nil
+	}
+	if len(q.Nodes) == 0 {
+		return p, nil
+	}
+	if !p.Nodes[len(p.Nodes)-1].Equal(q.Nodes[0]) {
+		return JoinPath{}, fmt.Errorf("schema: cannot concat %v + %v: endpoints differ", p, q)
+	}
+	nodes := make([]ColumnSet, 0, len(p.Nodes)+len(q.Nodes)-1)
+	nodes = append(nodes, p.Nodes...)
+	nodes = append(nodes, q.Nodes[1:]...)
+	return JoinPath{Nodes: nodes}, nil
+}
+
+// Validate checks the three conditions of Definition 2 against the schema.
+func (p JoinPath) Validate(s *Schema) error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("schema: empty join path")
+	}
+	last := p.Nodes[len(p.Nodes)-1]
+	if len(last.Columns) != 1 {
+		return fmt.Errorf("schema: join path destination %v must be a single attribute", last)
+	}
+	for i, n := range p.Nodes {
+		t := s.Table(n.Table)
+		if t == nil {
+			return fmt.Errorf("schema: join path node %d: unknown table %q", i, n.Table)
+		}
+		for _, c := range n.Columns {
+			if !t.HasColumn(c) {
+				return fmt.Errorf("schema: join path node %d: unknown column %s.%s", i, n.Table, c)
+			}
+		}
+	}
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		cur, next := p.Nodes[i], p.Nodes[i+1]
+		if cur.Table == next.Table {
+			if !s.Table(cur.Table).IsPK(cur.Columns) {
+				return fmt.Errorf("schema: join path hop %d: within-table source %v is not the primary key", i, cur)
+			}
+		} else {
+			fk, ok := s.FindFK(cur.Table, cur.Columns)
+			if !ok || !fk.Target().Equal(next) {
+				return fmt.Errorf("schema: join path hop %d: %v is not a foreign key referring to %v", i, cur, next)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the path as "X0 -> X1 -> ... -> Xn".
+func (p JoinPath) String() string {
+	parts := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, " -> ")
+}

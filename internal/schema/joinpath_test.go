@@ -1,0 +1,152 @@
+package schema
+
+import "testing"
+
+// tradePath is the paper's Example 2 join path:
+// {T_ID} -> {T_CA_ID} -> {CA_ID} -> {CA_C_ID}.
+func tradePath() JoinPath {
+	return NewJoinPath(
+		ColumnSet{"TRADE", []string{"T_ID"}},
+		ColumnSet{"TRADE", []string{"T_CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_C_ID"}},
+	)
+}
+
+// hsPath is the composite-key path of Example 2:
+// {HS_S_SYMB, HS_CA_ID} -> {HS_CA_ID} -> {CA_ID} -> {CA_C_ID}.
+func hsPath() JoinPath {
+	return NewJoinPath(
+		ColumnSet{"HOLDING_SUMMARY", []string{"HS_S_SYMB", "HS_CA_ID"}},
+		ColumnSet{"HOLDING_SUMMARY", []string{"HS_CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_C_ID"}},
+	)
+}
+
+func TestJoinPathValidate(t *testing.T) {
+	s := custInfoSchema()
+	for _, p := range []JoinPath{tradePath(), hsPath()} {
+		if err := p.Validate(s); err != nil {
+			t.Errorf("Validate(%v): %v", p, err)
+		}
+	}
+}
+
+func TestJoinPathValidateRejects(t *testing.T) {
+	s := custInfoSchema()
+	cases := []struct {
+		name string
+		p    JoinPath
+	}{
+		{"empty", JoinPath{}},
+		{"multi-col destination", NewJoinPath(
+			ColumnSet{"HOLDING_SUMMARY", []string{"HS_S_SYMB", "HS_CA_ID"}})},
+		{"unknown table", NewJoinPath(ColumnSet{"NOPE", []string{"X"}})},
+		{"unknown column", NewJoinPath(ColumnSet{"TRADE", []string{"NOPE"}})},
+		{"within-table hop from non-PK", NewJoinPath(
+			ColumnSet{"TRADE", []string{"T_CA_ID"}},
+			ColumnSet{"TRADE", []string{"T_QTY"}})},
+		{"cross-table hop without FK", NewJoinPath(
+			ColumnSet{"TRADE", []string{"T_QTY"}},
+			ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_ID"}})},
+		{"cross-table hop to wrong target", NewJoinPath(
+			ColumnSet{"TRADE", []string{"T_CA_ID"}},
+			ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_C_ID"}})},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(s); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestJoinPathEndpoints(t *testing.T) {
+	p := tradePath()
+	if p.SourceTable() != "TRADE" {
+		t.Errorf("source table = %q", p.SourceTable())
+	}
+	if d := p.Dest(); d != (ColumnRef{"CUSTOMER_ACCOUNT", "CA_C_ID"}) {
+		t.Errorf("dest = %v", d)
+	}
+	if p.Len() != 4 {
+		t.Errorf("len = %d", p.Len())
+	}
+}
+
+func TestJoinPathPrefixAndTrunk(t *testing.T) {
+	p := tradePath()
+	trunk := p.Trunk()
+	if trunk.Len() != 3 {
+		t.Fatalf("trunk len = %d", trunk.Len())
+	}
+	if !p.HasPrefix(trunk) {
+		t.Error("path must have its trunk as prefix")
+	}
+	if trunk.HasPrefix(p) {
+		t.Error("trunk must not have the longer path as prefix")
+	}
+	if !p.HasPrefix(p) {
+		t.Error("path is its own prefix")
+	}
+	other := hsPath()
+	if p.HasPrefix(other.Trunk()) {
+		t.Error("unrelated paths must not be prefixes")
+	}
+	single := NewJoinPath(ColumnSet{"TRADE", []string{"T_ID"}})
+	if single.Trunk().Len() != 0 {
+		t.Error("trunk of single-node path must be empty")
+	}
+}
+
+func TestJoinPathConcat(t *testing.T) {
+	s := custInfoSchema()
+	front := NewJoinPath(
+		ColumnSet{"TRADE", []string{"T_ID"}},
+		ColumnSet{"TRADE", []string{"T_CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_ID"}},
+	)
+	back := NewJoinPath(
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_ID"}},
+		ColumnSet{"CUSTOMER_ACCOUNT", []string{"CA_C_ID"}},
+	)
+	got, err := front.Concat(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tradePath()) {
+		t.Errorf("concat = %v", got)
+	}
+	if err := got.Validate(s); err != nil {
+		t.Errorf("concat result invalid: %v", err)
+	}
+	if _, err := back.Concat(front); err == nil {
+		t.Error("mismatched concat must error")
+	}
+	// Identity cases.
+	if got, _ := (JoinPath{}).Concat(front); !got.Equal(front) {
+		t.Error("empty + p must be p")
+	}
+	if got, _ := front.Concat(JoinPath{}); !got.Equal(front) {
+		t.Error("p + empty must be p")
+	}
+}
+
+func TestJoinPathEqual(t *testing.T) {
+	if !tradePath().Equal(tradePath()) {
+		t.Error("identical paths must be equal")
+	}
+	if tradePath().Equal(hsPath()) {
+		t.Error("different paths must not be equal")
+	}
+	if tradePath().Equal(tradePath().Trunk()) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestJoinPathString(t *testing.T) {
+	want := "TRADE.T_ID -> TRADE.T_CA_ID -> CUSTOMER_ACCOUNT.CA_ID -> CUSTOMER_ACCOUNT.CA_C_ID"
+	if got := tradePath().String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+// Package sim quantifies the paper's motivating claim (§1): "if each
+// compute node in a distributed transaction processing system accesses
+// only local data, there is no need for a distributed concurrency control
+// mechanism" — i.e. partitioning quality translates directly into
+// throughput. It replays a trace over k simulated nodes under a
+// partitioning solution, charging local transactions a unit of work on
+// one node and distributed transactions a two-phase-commit-shaped
+// overhead on every participant, and reports the bottleneck throughput.
+//
+// The simulator is deliberately analytic rather than event-driven: each
+// node's capacity is work units per second, a transaction's participants
+// and costs are deterministic functions of the solution, and throughput
+// is bounded by the busiest node. That is exactly the regime the paper
+// argues about (coordination overhead and load placement), without
+// modeling queueing effects the paper never measures.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Config sets the cost shape of the simulated cluster.
+type Config struct {
+	// LocalWork is the work units a local transaction costs its single
+	// participant (default 1).
+	LocalWork float64
+	// CoordWork is the extra work the coordinator of a distributed
+	// transaction performs (prepare/commit bookkeeping; default 2).
+	CoordWork float64
+	// ParticipantWork is the work each participant of a distributed
+	// transaction performs, including the 2PC round trips (default 2).
+	ParticipantWork float64
+	// NodeCapacity is work units per second per node (default 10000).
+	NodeCapacity float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LocalWork <= 0 {
+		c.LocalWork = 1
+	}
+	if c.CoordWork <= 0 {
+		c.CoordWork = 2
+	}
+	if c.ParticipantWork <= 0 {
+		c.ParticipantWork = 2
+	}
+	if c.NodeCapacity <= 0 {
+		c.NodeCapacity = 10000
+	}
+	return c
+}
+
+// Result is the outcome of simulating one solution.
+type Result struct {
+	// Nodes is the partition count simulated.
+	Nodes int
+	// NodeWork is the work accumulated per node.
+	NodeWork []float64
+	// Local and Distributed count transactions by classification.
+	Local, Distributed int
+	// ThroughputTPS is the trace's transaction count divided by the
+	// bottleneck node's busy time.
+	ThroughputTPS float64
+	// Speedup is ThroughputTPS relative to a single node executing every
+	// transaction locally.
+	Speedup float64
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("k=%d: %.0f tps (speedup %.2fx, %d local / %d distributed)",
+		r.Nodes, r.ThroughputTPS, r.Speedup, r.Local, r.Distributed)
+}
+
+// Run simulates the trace under the solution.
+func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	a, err := eval.NewAssigner(d, sol)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Nodes: sol.K, NodeWork: make([]float64, sol.K)}
+	for i := range tr.Txns {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
+		switch {
+		case writesReplicated || !allPlaced:
+			// Spans every node: coordinator plus k participants.
+			res.Distributed++
+			for n := 0; n < sol.K; n++ {
+				res.NodeWork[n] += cfg.ParticipantWork
+			}
+			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.CoordWork
+		case len(parts) <= 1:
+			res.Local++
+			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.LocalWork
+		default:
+			res.Distributed++
+			for n := range parts {
+				res.NodeWork[n] += cfg.ParticipantWork
+			}
+			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.CoordWork
+		}
+	}
+	bottleneck := 0.0
+	for _, w := range res.NodeWork {
+		if w > bottleneck {
+			bottleneck = w
+		}
+	}
+	if bottleneck == 0 {
+		res.ThroughputTPS = 0
+		res.Speedup = 0
+		return res, nil
+	}
+	res.ThroughputTPS = float64(tr.Len()) / (bottleneck / cfg.NodeCapacity)
+	singleNode := float64(tr.Len()) / (float64(tr.Len()) * cfg.LocalWork / cfg.NodeCapacity)
+	res.Speedup = res.ThroughputTPS / singleNode
+	return res, nil
+}
+
+// coordinator picks a deterministic coordinator: the lowest participating
+// partition. Fully-replicated reads have no participant constraint — any
+// node can serve them — so they round-robin by transaction index.
+func coordinator(parts map[int]bool, k, txnIndex int) int {
+	if len(parts) == 0 {
+		return txnIndex % k
+	}
+	ids := make([]int, 0, len(parts))
+	for p := range parts {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	return ids[0]
+}
+
+// Sweep simulates a solution-per-k factory across partition counts,
+// returning one Result per k — the "throughput vs parallelism" curve the
+// paper's introduction motivates.
+func Sweep(d *db.DB, tr *trace.Trace, ks []int, cfg Config,
+	solve func(k int) (*partition.Solution, error)) ([]*Result, error) {
+	var out []*Result
+	for _, k := range ks {
+		sol, err := solve(k)
+		if err != nil {
+			return nil, fmt.Errorf("sim: solve k=%d: %w", k, err)
+		}
+		r, err := Run(d, sol, tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

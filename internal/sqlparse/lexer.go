@@ -1,0 +1,229 @@
+// Package sqlparse implements the SQL front end for JECB's code-based
+// analysis (paper §5.1). It parses the stored-procedure dialect used by the
+// OLTP benchmarks (SELECT / INSERT / UPDATE / DELETE with JOIN..ON, WHERE
+// predicates over @parameters, and SELECT @var = col assignments) and
+// extracts the artifacts the join-graph builder needs: accessed tables,
+// candidate partitioning attributes, explicit equi-joins, and the parameter
+// data flow that reveals implicit joins across statements.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokParam  // @name
+	tokNumber // integer or decimal literal
+	tokString // 'quoted'
+	tokOp     // = <> < > <= >= + - * /
+	tokComma
+	tokLParen
+	tokRParen
+	tokSemi
+	tokDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokParam:
+		return "parameter"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokOp:
+		return "operator"
+	case tokComma:
+		return ","
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokSemi:
+		return ";"
+	case tokDot:
+		return "."
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // for keywords: upper-cased; params: without '@'
+	pos  int
+}
+
+// keywords recognized by the dialect. Everything else alphabetic is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "AS": true,
+	"ORDER": true, "BY": true, "GROUP": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "TOP": true, "DISTINCT": true, "NULL": true, "IS": true,
+	"LIKE": true, "FOR": true, "OF": true, "HAVING": true,
+}
+
+// lexer produces tokens from SQL source text.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexAll tokenizes the whole input, returning an error with position on the
+// first bad character.
+func (l *lexer) lexAll() ([]token, error) {
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '@':
+		l.pos++
+		id := l.ident()
+		if id == "" {
+			return token{}, fmt.Errorf("sqlparse: bare '@' at offset %d", start)
+		}
+		return token{kind: tokParam, text: id, pos: start}, nil
+	case isIdentStart(rune(c)):
+		id := l.ident()
+		up := strings.ToUpper(id)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: id, pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.number(start)
+	case c == '\'':
+		return l.stringLit(start)
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemi, text: ";", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case strings.ContainsRune("=<>+-*/!", rune(c)):
+		return l.operator(start)
+	default:
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) number(start int) (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) stringLit(start int) (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // '' escape
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+}
+
+func (l *lexer) operator(start int) (token, error) {
+	c := l.src[l.pos]
+	l.pos++
+	two := ""
+	if l.pos < len(l.src) {
+		two = string(c) + string(l.src[l.pos])
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos++
+		if two == "!=" {
+			two = "<>"
+		}
+		return token{kind: tokOp, text: two, pos: start}, nil
+	}
+	if c == '!' {
+		return token{}, fmt.Errorf("sqlparse: bare '!' at offset %d", start)
+	}
+	return token{kind: tokOp, text: string(c), pos: start}, nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/value"
+)
+
+// The on-disk trace format is JSON lines, one transaction per line. Keys
+// are stored as their decoded value tuples (text-encoded) because raw Key
+// bytes are not valid UTF-8.
+
+type txnJSON struct {
+	ID       int               `json:"id"`
+	Class    string            `json:"class"`
+	Params   map[string]string `json:"params,omitempty"`
+	Accesses []accessJSON      `json:"accesses"`
+}
+
+type accessJSON struct {
+	Table string   `json:"t"`
+	Key   []string `json:"k"`
+	Write bool     `json:"w,omitempty"`
+}
+
+// WriteTo serializes the trace as JSON lines.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	enc := json.NewEncoder(bw)
+	for i := range tr.Txns {
+		jt, err := toJSON(&tr.Txns[i])
+		if err != nil {
+			return written, err
+		}
+		if err := enc.Encode(jt); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Read deserializes a JSON-lines trace.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	tr := &Trace{}
+	for {
+		var jt txnJSON
+		if err := dec.Decode(&jt); err != nil {
+			if err == io.EOF {
+				return tr, nil
+			}
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		t, err := fromJSON(&jt)
+		if err != nil {
+			return nil, err
+		}
+		tr.Txns = append(tr.Txns, *t)
+	}
+}
+
+func toJSON(t *Txn) (*txnJSON, error) {
+	jt := &txnJSON{ID: t.ID, Class: t.Class}
+	if len(t.Params) > 0 {
+		jt.Params = make(map[string]string, len(t.Params))
+		for k, v := range t.Params {
+			b, err := v.MarshalText()
+			if err != nil {
+				return nil, fmt.Errorf("trace: txn %d param %s: %w", t.ID, k, err)
+			}
+			jt.Params[k] = string(b)
+		}
+	}
+	for _, a := range t.Accesses {
+		vals, err := value.DecodeKey(a.Key)
+		if err != nil {
+			return nil, fmt.Errorf("trace: txn %d: bad key: %w", t.ID, err)
+		}
+		ja := accessJSON{Table: a.Table, Write: a.Write}
+		for _, v := range vals {
+			b, err := v.MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			ja.Key = append(ja.Key, string(b))
+		}
+		jt.Accesses = append(jt.Accesses, ja)
+	}
+	return jt, nil
+}
+
+func fromJSON(jt *txnJSON) (*Txn, error) {
+	t := &Txn{ID: jt.ID, Class: jt.Class}
+	if len(jt.Params) > 0 {
+		t.Params = make(map[string]value.Value, len(jt.Params))
+		for k, s := range jt.Params {
+			var v value.Value
+			if err := v.UnmarshalText([]byte(s)); err != nil {
+				return nil, fmt.Errorf("trace: txn %d param %s: %w", jt.ID, k, err)
+			}
+			t.Params[k] = v
+		}
+	}
+	for _, ja := range jt.Accesses {
+		vals := make([]value.Value, len(ja.Key))
+		for i, s := range ja.Key {
+			if err := vals[i].UnmarshalText([]byte(s)); err != nil {
+				return nil, fmt.Errorf("trace: txn %d access: %w", jt.ID, err)
+			}
+		}
+		t.Accesses = append(t.Accesses, Access{
+			Table: ja.Table,
+			Key:   value.KeyOf(vals),
+			Write: ja.Write,
+		})
+	}
+	return t, nil
+}

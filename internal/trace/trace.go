@@ -1,0 +1,265 @@
+// Package trace models workload traces: per-transaction sets of accessed
+// tuples (paper Definition 1), the collector that records them while
+// stored procedures execute (§4, "collecting the workload trace"), and the
+// pre-processing operations JECB's Phase 1 performs — splitting the trace
+// into per-class streams and into training/testing halves (§7.1).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Access is one tuple touched by a transaction, identified by table and
+// primary key. Write marks updates, inserts, and deletes.
+type Access struct {
+	Table string
+	Key   value.Key
+	Write bool
+}
+
+// Txn is one executed transaction: the tuples it read and wrote (its
+// read set R and write set W) plus the class that produced it and the
+// stored-procedure input parameters (kept for routing evaluation).
+type Txn struct {
+	ID       int
+	Class    string
+	Params   map[string]value.Value
+	Accesses []Access
+}
+
+// Writes reports whether the transaction wrote any tuple.
+func (t *Txn) Writes() bool {
+	for _, a := range t.Accesses {
+		if a.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// Tables returns the distinct tables the transaction touched.
+func (t *Txn) Tables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range t.Accesses {
+		if !seen[a.Table] {
+			seen[a.Table] = true
+			out = append(out, a.Table)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trace is a bag of transactions (paper Definition 1's workload).
+type Trace struct {
+	Txns []Txn
+}
+
+// Len returns the number of transactions.
+func (tr *Trace) Len() int { return len(tr.Txns) }
+
+// Classes returns the distinct transaction class names, sorted.
+func (tr *Trace) Classes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range tr.Txns {
+		c := tr.Txns[i].Class
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mix returns each class's fraction of the workload.
+func (tr *Trace) Mix() map[string]float64 {
+	if len(tr.Txns) == 0 {
+		return nil
+	}
+	counts := map[string]int{}
+	for i := range tr.Txns {
+		counts[tr.Txns[i].Class]++
+	}
+	out := make(map[string]float64, len(counts))
+	for c, n := range counts {
+		out[c] = float64(n) / float64(len(tr.Txns))
+	}
+	return out
+}
+
+// Split partitions the trace into one homogeneous sub-trace per
+// transaction class (Phase 1, "splitting the trace into different
+// streams"). Transactions keep their order and identity.
+func (tr *Trace) Split() map[string]*Trace {
+	out := map[string]*Trace{}
+	for i := range tr.Txns {
+		c := tr.Txns[i].Class
+		sub, ok := out[c]
+		if !ok {
+			sub = &Trace{}
+			out[c] = sub
+		}
+		sub.Txns = append(sub.Txns, tr.Txns[i])
+	}
+	return out
+}
+
+// TrainTest splits the trace into a training part with the given fraction
+// of transactions and a testing part with the remainder. The split is a
+// deterministic shuffle under the provided source so experiments are
+// reproducible.
+func (tr *Trace) TrainTest(trainFrac float64, rng *rand.Rand) (train, test *Trace) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic(fmt.Sprintf("trace: bad training fraction %v", trainFrac))
+	}
+	perm := rng.Perm(len(tr.Txns))
+	n := int(float64(len(tr.Txns)) * trainFrac)
+	train, test = &Trace{}, &Trace{}
+	for i, pi := range perm {
+		if i < n {
+			train.Txns = append(train.Txns, tr.Txns[pi])
+		} else {
+			test.Txns = append(test.Txns, tr.Txns[pi])
+		}
+	}
+	return train, test
+}
+
+// Head returns a trace containing the first n transactions (or all of
+// them when n exceeds the length). Used to build coverage-limited
+// training sets.
+func (tr *Trace) Head(n int) *Trace {
+	if n > len(tr.Txns) {
+		n = len(tr.Txns)
+	}
+	return &Trace{Txns: tr.Txns[:n]}
+}
+
+// TableStats aggregates per-table read/write behaviour over a trace; JECB
+// Phase 1 uses it to pick replicated (read-only / read-mostly) tables.
+type TableStats struct {
+	Table     string
+	Reads     int
+	Writes    int
+	WriteTxns int // transactions that wrote this table at least once
+}
+
+// WriteTxnFraction is the fraction of all transactions that write the
+// table.
+func (s TableStats) WriteTxnFraction(totalTxns int) float64 {
+	if totalTxns == 0 {
+		return 0
+	}
+	return float64(s.WriteTxns) / float64(totalTxns)
+}
+
+// Stats computes per-table access statistics, keyed by table name.
+func (tr *Trace) Stats() map[string]*TableStats {
+	out := map[string]*TableStats{}
+	get := func(tbl string) *TableStats {
+		s, ok := out[tbl]
+		if !ok {
+			s = &TableStats{Table: tbl}
+			out[tbl] = s
+		}
+		return s
+	}
+	for i := range tr.Txns {
+		wrote := map[string]bool{}
+		for _, a := range tr.Txns[i].Accesses {
+			s := get(a.Table)
+			if a.Write {
+				s.Writes++
+				wrote[a.Table] = true
+			} else {
+				s.Reads++
+			}
+		}
+		for tbl := range wrote {
+			get(tbl).WriteTxns++
+		}
+	}
+	return out
+}
+
+// Collector records accesses while stored procedures run. One collector
+// instruments one workload execution; it is not safe for concurrent use
+// (drivers are single-threaded per stream, as in the paper's framework).
+type Collector struct {
+	nextID int
+	cur    *Txn
+	// curIdx deduplicates accesses within the open transaction: a tuple
+	// read then written is recorded once with Write=true.
+	curIdx map[Access]int
+	done   []Txn
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Begin opens a transaction of the given class. Params are the stored
+// procedure's input arguments (copied).
+func (c *Collector) Begin(class string, params map[string]value.Value) {
+	if c.cur != nil {
+		panic("trace: Begin with open transaction")
+	}
+	var p map[string]value.Value
+	if len(params) > 0 {
+		p = make(map[string]value.Value, len(params))
+		for k, v := range params {
+			p[k] = v
+		}
+	}
+	c.cur = &Txn{ID: c.nextID, Class: class, Params: p}
+	c.curIdx = make(map[Access]int)
+	c.nextID++
+}
+
+// Read records a tuple read in the open transaction.
+func (c *Collector) Read(table string, key value.Key) { c.access(table, key, false) }
+
+// Write records a tuple write in the open transaction.
+func (c *Collector) Write(table string, key value.Key) { c.access(table, key, true) }
+
+func (c *Collector) access(table string, key value.Key, write bool) {
+	if c.cur == nil {
+		panic("trace: access outside transaction")
+	}
+	probe := Access{Table: table, Key: key}
+	if i, seen := c.curIdx[probe]; seen {
+		if write {
+			c.cur.Accesses[i].Write = true
+		}
+		return
+	}
+	c.curIdx[probe] = len(c.cur.Accesses)
+	c.cur.Accesses = append(c.cur.Accesses, Access{Table: table, Key: key, Write: write})
+}
+
+// Commit closes the open transaction and appends it to the trace.
+func (c *Collector) Commit() {
+	if c.cur == nil {
+		panic("trace: Commit without open transaction")
+	}
+	c.done = append(c.done, *c.cur)
+	c.cur, c.curIdx = nil, nil
+}
+
+// Abort discards the open transaction.
+func (c *Collector) Abort() {
+	if c.cur == nil {
+		panic("trace: Abort without open transaction")
+	}
+	c.cur, c.curIdx = nil, nil
+	c.nextID--
+}
+
+// Trace returns the collected transactions.
+func (c *Collector) Trace() *Trace { return &Trace{Txns: c.done} }

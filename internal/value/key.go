@@ -1,0 +1,94 @@
+package value
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Key is an opaque, comparable encoding of a (possibly composite) tuple of
+// values, used to identify rows by primary key throughout the pipeline.
+// Keys built from distinct value tuples are guaranteed distinct.
+type Key string
+
+// MakeKey encodes a tuple of values into a Key.
+func MakeKey(vs ...Value) Key {
+	var buf []byte
+	for _, v := range vs {
+		buf = v.Encode(buf)
+	}
+	return Key(buf)
+}
+
+// KeyOf is a convenience wrapper over MakeKey for a slice.
+func KeyOf(vs []Value) Key { return MakeKey(vs...) }
+
+// Tuple is a row of values in schema column order.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders a tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// DecodeKey decodes a Key back into its component values. It returns an
+// error if the key is malformed (not produced by MakeKey).
+func DecodeKey(k Key) ([]Value, error) {
+	b := []byte(k)
+	var out []Value
+	for len(b) > 0 {
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case Null:
+			out = append(out, Value{})
+		case Int, Float:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("value: truncated key payload")
+			}
+			var u uint64
+			for i := 0; i < 8; i++ {
+				u = u<<8 | uint64(b[i])
+			}
+			b = b[8:]
+			if kind == Int {
+				out = append(out, NewInt(int64(u)))
+			} else {
+				out = append(out, NewFloat(math.Float64frombits(u)))
+			}
+		case Str:
+			n, shift := 0, 0
+			for {
+				if len(b) == 0 {
+					return nil, fmt.Errorf("value: truncated key length")
+				}
+				c := b[0]
+				b = b[1:]
+				n |= int(c&0x7f) << shift
+				if c&0x80 == 0 {
+					break
+				}
+				shift += 7
+			}
+			if len(b) < n {
+				return nil, fmt.Errorf("value: truncated key string")
+			}
+			out = append(out, NewString(string(b[:n])))
+			b = b[n:]
+		default:
+			return nil, fmt.Errorf("value: bad kind byte %d in key", kind)
+		}
+	}
+	return out, nil
+}

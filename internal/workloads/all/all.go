@@ -1,0 +1,24 @@
+// Package all registers every benchmark in the workloads registry.
+// Import it for side effects:
+//
+//	import _ "repro/internal/workloads/all"
+package all
+
+import (
+	"repro/internal/workloads"
+	"repro/internal/workloads/auctionmark"
+	"repro/internal/workloads/seats"
+	"repro/internal/workloads/synthetic"
+	"repro/internal/workloads/tatp"
+	"repro/internal/workloads/tpcc"
+	"repro/internal/workloads/tpce"
+)
+
+func init() {
+	workloads.Register(tpcc.New())
+	workloads.Register(tatp.New())
+	workloads.Register(tpce.New())
+	workloads.Register(seats.New())
+	workloads.Register(auctionmark.New())
+	workloads.Register(synthetic.New())
+}

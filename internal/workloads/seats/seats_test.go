@@ -1,0 +1,100 @@
+package seats
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/sqlparse"
+	"repro/internal/workloads"
+)
+
+func TestSchemaAndGenerate(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table("CUSTOMER").Len() != 100 {
+		t.Errorf("customers = %d", d.Table("CUSTOMER").Len())
+	}
+	if d.Table("RESERVATION").Len() != 100*ReservationsPerCustomer {
+		t.Errorf("reservations = %d", d.Table("RESERVATION").Len())
+	}
+	if d.Table("FLIGHT").Len() != AirlineCount*FlightsPerAirline {
+		t.Errorf("flights = %d", d.Table("FLIGHT").Len())
+	}
+	if _, err := Generate(0, 1); err == nil {
+		t.Error("zero customers must error")
+	}
+	for _, c := range New().Classes() {
+		if _, err := sqlparse.Analyze(c.Proc, s); err != nil {
+			t.Errorf("%s: %v", c.Proc.Name, err)
+		}
+	}
+}
+
+// TestJECBMakesSEATSPartitionable reproduces the §7.4 SEATS claim: no
+// common intra-table attribute exists, yet join extension connects every
+// non-replicated table to the customer and the workload becomes
+// (essentially) completely partitionable.
+func TestJECBMakesSEATSPartitionable(t *testing.T) {
+	b := New()
+	d, err := b.Load(workloads.Config{Scale: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, 2500, 2)
+	train, test := full.TrainTest(0.4, rand.New(rand.NewSource(3)))
+	sol, _, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := eval.Evaluate(d, sol, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rj.Cost() > 0.02 {
+		t.Errorf("JECB cost = %.3f, want ~0", rj.Cost())
+	}
+	// RESERVATION must reach the customer via a join path, not sit on an
+	// intra-table attribute.
+	ts := sol.Table("RESERVATION")
+	if ts == nil || ts.Replicate {
+		t.Fatalf("RESERVATION placement: %v", ts)
+	}
+	attr, _ := ts.Attribute()
+	if attr.Column != "C_ID" && attr.Column != "R_C_ID" && attr.Column != "FF_C_ID" {
+		t.Errorf("RESERVATION partitioned by %v, want customer id", attr)
+	}
+}
+
+// TestHorticultureGap: the published flight-centric Horticulture design
+// leaves customer-rooted transactions distributed (Figure 7's gap).
+func TestHorticultureGap(t *testing.T) {
+	b := New()
+	d, err := b.Load(workloads.Config{Scale: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workloads.GenerateTrace(b, d, 2000, 2)
+	hc, err := PublishedHorticulture(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eval.Evaluate(d, hc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reservations scatter by flight: customer transactions touching a
+	// reservation + the customer row cross partitions most of the time.
+	if r.Cost() < 0.3 {
+		t.Errorf("published HC cost = %.3f, expected substantial", r.Cost())
+	}
+}

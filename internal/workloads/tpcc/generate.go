@@ -1,0 +1,76 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/value"
+)
+
+// Per-warehouse shape (scaled down from the official kit; see the package
+// comment).
+const (
+	DistrictsPerWarehouse = 4
+	CustomersPerDistrict  = 20
+	OrdersPerDistrict     = 20
+	Items                 = 100
+	maxLinesPerOrder      = 5
+)
+
+// iv/sv/fv shorten literal construction in the generators.
+func iv(n int64) value.Value   { return value.NewInt(n) }
+func sv(s string) value.Value  { return value.NewString(s) }
+func fv(f float64) value.Value { return value.NewFloat(f) }
+
+// Generate builds a TPC-C database with the given number of warehouses.
+func Generate(warehouses int, seed int64) (*db.DB, error) {
+	if warehouses <= 0 {
+		return nil, fmt.Errorf("tpcc: warehouses = %d", warehouses)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New(Schema())
+
+	item := d.Table("ITEM")
+	for i := 0; i < Items; i++ {
+		item.MustInsert(iv(int64(i)), sv(fmt.Sprintf("item-%d", i)), fv(1+rng.Float64()*99))
+	}
+	wt := d.Table("WAREHOUSE")
+	dt := d.Table("DISTRICT")
+	ct := d.Table("CUSTOMER")
+	ot := d.Table("ORDERS")
+	not := d.Table("NEW_ORDER")
+	olt := d.Table("ORDER_LINE")
+	st := d.Table("STOCK")
+	for w := 0; w < warehouses; w++ {
+		wid := int64(w)
+		wt.MustInsert(iv(wid), sv(fmt.Sprintf("wh-%d", w)), fv(0))
+		for i := 0; i < Items; i++ {
+			st.MustInsert(iv(wid), iv(int64(i)), iv(int64(10+rng.Intn(90))))
+		}
+		for di := 0; di < DistrictsPerWarehouse; di++ {
+			did := int64(di)
+			dt.MustInsert(iv(wid), iv(did), sv(fmt.Sprintf("dist-%d-%d", w, di)),
+				fv(0), iv(int64(OrdersPerDistrict)))
+			for c := 0; c < CustomersPerDistrict; c++ {
+				ct.MustInsert(iv(wid), iv(did), iv(int64(c)),
+					sv(fmt.Sprintf("LAST%d", rng.Intn(50))), fv(-10))
+			}
+			for o := 0; o < OrdersPerDistrict; o++ {
+				oid := int64(o)
+				cnt := 1 + rng.Intn(maxLinesPerOrder)
+				ot.MustInsert(iv(wid), iv(did), iv(oid),
+					iv(int64(rng.Intn(CustomersPerDistrict))), iv(int64(rng.Intn(10))), iv(int64(cnt)))
+				// The most recent 30% of orders are undelivered.
+				if o >= OrdersPerDistrict*7/10 {
+					not.MustInsert(iv(wid), iv(did), iv(oid))
+				}
+				for l := 0; l < cnt; l++ {
+					olt.MustInsert(iv(wid), iv(did), iv(oid), iv(int64(l)),
+						iv(int64(rng.Intn(Items))), iv(wid), iv(int64(1+rng.Intn(9))))
+				}
+			}
+		}
+	}
+	return d, nil
+}

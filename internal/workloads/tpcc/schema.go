@@ -1,0 +1,92 @@
+// Package tpcc implements the TPC-C order-processing benchmark used by
+// the paper's scalability experiments (Figures 5–6, Tables 1–2) and the
+// quality comparison (Figure 7): nine tables rooted at WAREHOUSE, and the
+// standard five-transaction mix. The known best partitioning co-locates
+// everything but ITEM by warehouse id.
+//
+// Scale note: per-warehouse row counts are reduced from the official kit
+// (10 districts → 4, 3000 customers/district → 20, 100000 items → 100) so
+// a 1024-warehouse database fits a laptop; every structural property the
+// partitioners depend on — the FK tree under WAREHOUSE, the ~10% of
+// NewOrders touching a remote supply warehouse, Payment's 15% remote
+// customers — is preserved.
+package tpcc
+
+import "repro/internal/schema"
+
+// Schema returns the nine-table TPC-C schema.
+func Schema() *schema.Schema {
+	s := schema.New("tpcc")
+	s.AddTable("WAREHOUSE", schema.Cols(
+		"W_ID", schema.Int,
+		"W_NAME", schema.String,
+		"W_YTD", schema.Float,
+	), "W_ID")
+	s.AddTable("DISTRICT", schema.Cols(
+		"D_W_ID", schema.Int,
+		"D_ID", schema.Int,
+		"D_NAME", schema.String,
+		"D_YTD", schema.Float,
+		"D_NEXT_O_ID", schema.Int,
+	), "D_W_ID", "D_ID")
+	s.AddTable("CUSTOMER", schema.Cols(
+		"C_W_ID", schema.Int,
+		"C_D_ID", schema.Int,
+		"C_ID", schema.Int,
+		"C_LAST", schema.String,
+		"C_BALANCE", schema.Float,
+	), "C_W_ID", "C_D_ID", "C_ID")
+	s.AddTable("HISTORY", schema.Cols(
+		"H_ID", schema.Int,
+		"H_C_W_ID", schema.Int,
+		"H_C_D_ID", schema.Int,
+		"H_C_ID", schema.Int,
+		"H_W_ID", schema.Int,
+		"H_D_ID", schema.Int,
+		"H_AMOUNT", schema.Float,
+	), "H_ID")
+	s.AddTable("ORDERS", schema.Cols(
+		"O_W_ID", schema.Int,
+		"O_D_ID", schema.Int,
+		"O_ID", schema.Int,
+		"O_C_ID", schema.Int,
+		"O_CARRIER_ID", schema.Int,
+		"O_OL_CNT", schema.Int,
+	), "O_W_ID", "O_D_ID", "O_ID")
+	s.AddTable("NEW_ORDER", schema.Cols(
+		"NO_W_ID", schema.Int,
+		"NO_D_ID", schema.Int,
+		"NO_O_ID", schema.Int,
+	), "NO_W_ID", "NO_D_ID", "NO_O_ID")
+	s.AddTable("ORDER_LINE", schema.Cols(
+		"OL_W_ID", schema.Int,
+		"OL_D_ID", schema.Int,
+		"OL_O_ID", schema.Int,
+		"OL_NUMBER", schema.Int,
+		"OL_I_ID", schema.Int,
+		"OL_SUPPLY_W_ID", schema.Int,
+		"OL_QUANTITY", schema.Int,
+	), "OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_NUMBER")
+	s.AddTable("STOCK", schema.Cols(
+		"S_W_ID", schema.Int,
+		"S_I_ID", schema.Int,
+		"S_QUANTITY", schema.Int,
+	), "S_W_ID", "S_I_ID")
+	s.AddTable("ITEM", schema.Cols(
+		"I_ID", schema.Int,
+		"I_NAME", schema.String,
+		"I_PRICE", schema.Float,
+	), "I_ID")
+
+	s.AddFK("DISTRICT", []string{"D_W_ID"}, "WAREHOUSE", []string{"W_ID"})
+	s.AddFK("CUSTOMER", []string{"C_W_ID", "C_D_ID"}, "DISTRICT", []string{"D_W_ID", "D_ID"})
+	s.AddFK("HISTORY", []string{"H_C_W_ID", "H_C_D_ID", "H_C_ID"}, "CUSTOMER", []string{"C_W_ID", "C_D_ID", "C_ID"})
+	s.AddFK("HISTORY", []string{"H_W_ID", "H_D_ID"}, "DISTRICT", []string{"D_W_ID", "D_ID"})
+	s.AddFK("ORDERS", []string{"O_W_ID", "O_D_ID", "O_C_ID"}, "CUSTOMER", []string{"C_W_ID", "C_D_ID", "C_ID"})
+	s.AddFK("NEW_ORDER", []string{"NO_W_ID", "NO_D_ID", "NO_O_ID"}, "ORDERS", []string{"O_W_ID", "O_D_ID", "O_ID"})
+	s.AddFK("ORDER_LINE", []string{"OL_W_ID", "OL_D_ID", "OL_O_ID"}, "ORDERS", []string{"O_W_ID", "O_D_ID", "O_ID"})
+	s.AddFK("ORDER_LINE", []string{"OL_SUPPLY_W_ID", "OL_I_ID"}, "STOCK", []string{"S_W_ID", "S_I_ID"})
+	s.AddFK("STOCK", []string{"S_W_ID"}, "WAREHOUSE", []string{"W_ID"})
+	s.AddFK("STOCK", []string{"S_I_ID"}, "ITEM", []string{"I_ID"})
+	return s.MustValidate()
+}

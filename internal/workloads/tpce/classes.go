@@ -1,0 +1,200 @@
+package tpce
+
+import (
+	"repro/internal/db"
+	"repro/internal/sqlparse"
+	"repro/internal/workloads"
+)
+
+// The 15 transaction classes of the paper's Table 3 with its mix
+// percentages. The three Trade-Lookup/Trade-Update frames the paper lists
+// separately are modeled as separate classes, exactly as the paper's
+// Phase 1 splits them.
+
+var customerPositionProc = sqlparse.MustProcedure("Customer-Position",
+	[]string{"tax_id"}, `
+	SELECT @c_id = C_ID FROM CUSTOMER WHERE C_TAX_ID = @tax_id;
+	SELECT C_LNAME, C_TIER FROM CUSTOMER WHERE C_ID = @c_id;
+	SELECT @acct_id = CA_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @c_id;
+	SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct_id;
+	SELECT @symb = HS_S_SYMB FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct_id;
+	SELECT LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+	SELECT @t_id = T_ID FROM TRADE WHERE T_CA_ID = @acct_id ORDER BY T_DTS DESC LIMIT 30;
+	SELECT TH_DTS, @st_id = TH_ST_ID FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+	SELECT ST_NAME FROM STATUS_TYPE WHERE ST_ID = @st_id;
+`)
+
+var marketWatchProc = sqlparse.MustProcedure("Market-Watch",
+	[]string{"acct_id", "c_id"}, `
+	SELECT @wl_id = WL_ID FROM WATCH_LIST WHERE WL_C_ID = @c_id;
+	SELECT @symb = WI_S_SYMB FROM WATCH_ITEM WHERE WI_WL_ID = @wl_id;
+	SELECT HS_QTY FROM HOLDING_SUMMARY WHERE HS_CA_ID = @acct_id;
+	SELECT LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+	SELECT S_NUM_OUT FROM SECURITY WHERE S_SYMB = @symb;
+`)
+
+var securityDetailProc = sqlparse.MustProcedure("Security-Detail",
+	[]string{"symb"}, `
+	SELECT S_NAME, @co_id = S_CO_ID, @ex_id = S_EX_ID FROM SECURITY WHERE S_SYMB = @symb;
+	SELECT CO_NAME, @in_id = CO_IN_ID FROM COMPANY WHERE CO_ID = @co_id;
+	SELECT CP_COMP_CO_ID FROM COMPANY_COMPETITOR WHERE CP_CO_ID = @co_id;
+	SELECT IN_NAME FROM INDUSTRY WHERE IN_ID = @in_id;
+	SELECT EX_NAME FROM EXCHANGE WHERE EX_ID = @ex_id;
+	SELECT FI_REVENUE FROM FINANCIAL WHERE FI_CO_ID = @co_id;
+	SELECT DM_CLOSE FROM DAILY_MARKET WHERE DM_S_SYMB = @symb;
+	SELECT @ni_id = NX_NI_ID FROM NEWS_XREF WHERE NX_CO_ID = @co_id;
+	SELECT NI_HEADLINE FROM NEWS_ITEM WHERE NI_ID = @ni_id;
+	SELECT LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+`)
+
+var brokerVolumeProc = sqlparse.MustProcedure("Broker-Volume",
+	[]string{"b_name"}, `
+	SELECT @b_id = B_ID FROM BROKER WHERE B_NAME = @b_name;
+	SELECT TR_QTY, TR_BID_PRICE FROM TRADE_REQUEST WHERE TR_B_ID = @b_id;
+`)
+
+var marketFeedProc = sqlparse.MustProcedure("Market-Feed",
+	[]string{"symb", "price", "vol", "dts"}, `
+	UPDATE LAST_TRADE SET LT_PRICE = @price, LT_VOL = LT_VOL + @vol WHERE LT_S_SYMB = @symb;
+	SELECT @t_id = TR_T_ID FROM TRADE_REQUEST WHERE TR_S_SYMB = @symb;
+	DELETE FROM TRADE_REQUEST WHERE TR_T_ID = @t_id;
+	UPDATE TRADE SET T_ST_ID = 'SBMT' WHERE T_ID = @t_id;
+	INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID, TH_DTS) VALUES (@t_id, 'SBMT', @dts);
+`)
+
+var tradeOrderProc = sqlparse.MustProcedure("Trade-Order",
+	[]string{"acct_id", "symb", "qty", "tt_id", "tax_id", "t_id", "dts"}, `
+	SELECT @b_id = CA_B_ID, @c_id = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+	SELECT C_LNAME, @tier = C_TIER FROM CUSTOMER WHERE C_ID = @c_id;
+	SELECT B_NAME FROM BROKER WHERE B_ID = @b_id;
+	SELECT AP_ACL FROM ACCOUNT_PERMISSION WHERE AP_CA_ID = @acct_id AND AP_TAX_ID = @tax_id;
+	SELECT @price = LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symb;
+	SELECT CH_CHRG FROM CHARGE WHERE CH_TT_ID = @tt_id AND CH_C_TIER = @tier;
+	INSERT INTO TRADE (T_ID, T_DTS, T_ST_ID, T_TT_ID, T_S_SYMB, T_QTY, T_CA_ID, T_TRADE_PRICE, T_EXEC_NAME)
+		VALUES (@t_id, @dts, 'PNDG', @tt_id, @symb, @qty, @acct_id, 0, 'exec');
+	INSERT INTO TRADE_REQUEST (TR_T_ID, TR_TT_ID, TR_S_SYMB, TR_QTY, TR_B_ID, TR_BID_PRICE)
+		VALUES (@t_id, @tt_id, @symb, @qty, @b_id, @price);
+	INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID, TH_DTS) VALUES (@t_id, 'PNDG', @dts);
+`)
+
+var tradeResultProc = sqlparse.MustProcedure("Trade-Result",
+	[]string{"t_id", "price", "dts"}, `
+	SELECT @tt_id = TR_TT_ID, @symb = TR_S_SYMB, @qty = TR_QTY, @b_id = TR_B_ID
+		FROM TRADE_REQUEST WHERE TR_T_ID = @t_id;
+	DELETE FROM TRADE_REQUEST WHERE TR_T_ID = @t_id;
+	SELECT @acct_id = T_CA_ID FROM TRADE WHERE T_ID = @t_id;
+	UPDATE TRADE SET T_ST_ID = 'CMPT', T_TRADE_PRICE = @price WHERE T_ID = @t_id;
+	INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID, TH_DTS) VALUES (@t_id, 'CMPT', @dts);
+	SELECT @c_id = CA_C_ID, @b_id = CA_B_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+	SELECT @tier = C_TIER FROM CUSTOMER WHERE C_ID = @c_id;
+	SELECT CX_TX_ID FROM CUSTOMER_TAXRATE WHERE CX_C_ID = @c_id;
+	SELECT CR_RATE FROM COMMISSION_RATE WHERE CR_C_TIER = @tier AND CR_TT_ID = @tt_id AND CR_EX_ID = @ex_id;
+	UPDATE BROKER SET B_NUM_TRADES = B_NUM_TRADES + 1, B_COMM_TOTAL = B_COMM_TOTAL + 1 WHERE B_ID = @b_id;
+	UPDATE HOLDING_SUMMARY SET HS_QTY = HS_QTY + @qty WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symb;
+	INSERT INTO HOLDING (H_T_ID, H_CA_ID, H_S_SYMB, H_DTS, H_QTY)
+		VALUES (@t_id, @acct_id, @symb, @dts, @qty);
+	INSERT INTO HOLDING_HISTORY (HH_H_T_ID, HH_T_ID, HH_BEFORE_QTY, HH_AFTER_QTY)
+		VALUES (@t_id, @t_id, 0, @qty);
+	INSERT INTO SETTLEMENT (SE_T_ID, SE_CASH_TYPE, SE_AMT) VALUES (@t_id, 'cash', 100);
+	INSERT INTO CASH_TRANSACTION (CT_T_ID, CT_DTS, CT_AMT) VALUES (@t_id, @dts, 100);
+	UPDATE CUSTOMER_ACCOUNT SET CA_BAL = CA_BAL + 100 WHERE CA_ID = @acct_id;
+`)
+
+var tradeStatusProc = sqlparse.MustProcedure("Trade-Status",
+	[]string{"acct_id"}, `
+	SELECT @b_id = CA_B_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+	SELECT @t_id = T_ID, T_DTS, @st_id = T_ST_ID FROM TRADE
+		WHERE T_CA_ID = @acct_id ORDER BY T_DTS DESC LIMIT 50;
+	SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+	SELECT B_NAME FROM BROKER WHERE B_ID = @b_id;
+	SELECT ST_NAME FROM STATUS_TYPE WHERE ST_ID = @st_id;
+`)
+
+var tradeLookup1Proc = sqlparse.MustProcedure("Trade-Lookup Frame1",
+	[]string{"t_id"}, `
+	SELECT T_QTY, T_TRADE_PRICE FROM TRADE WHERE T_ID = @t_id;
+	SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+	SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+	SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+`)
+
+var tradeLookup2Proc = sqlparse.MustProcedure("Trade-Lookup Frame2",
+	[]string{"acct_id", "start_dts", "end_dts"}, `
+	SELECT CA_BAL FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id;
+	SELECT @t_id = T_ID FROM TRADE
+		WHERE T_CA_ID = @acct_id AND T_DTS BETWEEN @start_dts AND @end_dts;
+	SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+	SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+`)
+
+var tradeLookup3Proc = sqlparse.MustProcedure("Trade-Lookup Frame3",
+	[]string{"symb", "dts"}, `
+	SELECT @t_id = T_ID, @acct_id = T_CA_ID FROM TRADE
+		WHERE T_S_SYMB = @symb AND T_DTS = @dts;
+	SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+	SELECT CT_AMT FROM CASH_TRANSACTION WHERE CT_T_ID = @t_id;
+	SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+`)
+
+var tradeLookup4Proc = sqlparse.MustProcedure("Trade-Lookup Frame4",
+	[]string{"acct_id", "dts"}, `
+	SELECT @t_id = T_ID FROM TRADE WHERE T_CA_ID = @acct_id AND T_DTS = @dts;
+	SELECT HH_AFTER_QTY FROM HOLDING_HISTORY WHERE HH_T_ID = @t_id;
+`)
+
+var tradeUpdate1Proc = sqlparse.MustProcedure("Trade-Update Frame1",
+	[]string{"t_id", "exec"}, `
+	UPDATE TRADE SET T_EXEC_NAME = @exec WHERE T_ID = @t_id;
+	SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+	SELECT TH_DTS FROM TRADE_HISTORY WHERE TH_T_ID = @t_id;
+`)
+
+var tradeUpdate2Proc = sqlparse.MustProcedure("Trade-Update Frame2",
+	[]string{"acct_id", "dts", "cash_type"}, `
+	SELECT @t_id = T_ID FROM TRADE WHERE T_CA_ID = @acct_id AND T_DTS = @dts;
+	UPDATE SETTLEMENT SET SE_CASH_TYPE = @cash_type WHERE SE_T_ID = @t_id;
+`)
+
+var tradeUpdate3Proc = sqlparse.MustProcedure("Trade-Update Frame3",
+	[]string{"symb", "dts"}, `
+	SELECT @t_id = T_ID FROM TRADE WHERE T_S_SYMB = @symb AND T_DTS = @dts;
+	UPDATE CASH_TRANSACTION SET CT_AMT = CT_AMT + 0 WHERE CT_T_ID = @t_id;
+	SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @t_id;
+`)
+
+type bench struct{}
+
+// New returns the TPC-E benchmark.
+func New() workloads.Benchmark { return bench{} }
+
+func (bench) Name() string      { return "tpce" }
+func (bench) DefaultScale() int { return 200 }
+
+func (bench) Load(cfg workloads.Config) (*db.DB, error) {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 200
+	}
+	return Generate(scale, cfg.Seed)
+}
+
+// Classes returns the 15 classes with the paper's Table 3 mix.
+func (bench) Classes() []workloads.Class {
+	return []workloads.Class{
+		{Proc: brokerVolumeProc, Weight: 0.049, Run: runBrokerVolume},
+		{Proc: customerPositionProc, Weight: 0.13, Run: runCustomerPosition},
+		{Proc: marketFeedProc, Weight: 0.01, Run: runMarketFeed},
+		{Proc: marketWatchProc, Weight: 0.18, Run: runMarketWatch},
+		{Proc: securityDetailProc, Weight: 0.14, Run: runSecurityDetail},
+		{Proc: tradeLookup1Proc, Weight: 0.024, Run: runTradeLookup1},
+		{Proc: tradeLookup2Proc, Weight: 0.024, Run: runTradeLookup2},
+		{Proc: tradeLookup3Proc, Weight: 0.024, Run: runTradeLookup3},
+		{Proc: tradeLookup4Proc, Weight: 0.008, Run: runTradeLookup4},
+		{Proc: tradeOrderProc, Weight: 0.101, Run: runTradeOrder},
+		{Proc: tradeResultProc, Weight: 0.10, Run: runTradeResult},
+		{Proc: tradeStatusProc, Weight: 0.19, Run: runTradeStatus},
+		{Proc: tradeUpdate1Proc, Weight: 0.0066, Run: runTradeUpdate1},
+		{Proc: tradeUpdate2Proc, Weight: 0.0067, Run: runTradeUpdate2},
+		{Proc: tradeUpdate3Proc, Weight: 0.0067, Run: runTradeUpdate3},
+	}
+}

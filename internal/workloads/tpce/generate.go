@@ -1,0 +1,198 @@
+package tpce
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/value"
+)
+
+// Shape constants (scaled down from the official kit, preserving all
+// structural ratios that matter to partitioning).
+const (
+	Securities         = 40
+	Companies          = 20
+	DateDomain         = 10 // distinct T_DTS trading days
+	AccountsPerCust    = 5  // 1..5, averaging 3 (real TPC-E averages 5)
+	TradesPerAccount   = 6
+	HoldingsPerAcct    = 2
+	CustomersPerBroker = 25
+)
+
+func iv(n int64) value.Value   { return value.NewInt(n) }
+func sv(s string) value.Value  { return value.NewString(s) }
+func fv(f float64) value.Value { return value.NewFloat(f) }
+
+// symbol returns the i-th security symbol.
+func symbol(i int64) string { return fmt.Sprintf("SYM%03d", i) }
+
+// Generate builds a TPC-E database with the given number of customers.
+func Generate(customers int, seed int64) (*db.DB, error) {
+	if customers <= 0 {
+		return nil, fmt.Errorf("tpce: customers = %d", customers)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New(Schema())
+
+	loadReference(d, rng)
+
+	brokers := customers / CustomersPerBroker
+	if brokers < 2 {
+		brokers = 2
+	}
+	bt := d.Table("BROKER")
+	for b := 0; b < brokers; b++ {
+		bt.MustInsert(iv(int64(b)), sv(fmt.Sprintf("Broker %03d", b)), iv(0), fv(0))
+	}
+
+	ct := d.Table("CUSTOMER")
+	cat := d.Table("CUSTOMER_ACCOUNT")
+	cxt := d.Table("CUSTOMER_TAXRATE")
+	wlt := d.Table("WATCH_LIST")
+	wit := d.Table("WATCH_ITEM")
+	apt := d.Table("ACCOUNT_PERMISSION")
+	caID := int64(0)
+	tradeID := int64(0)
+	for c := 0; c < customers; c++ {
+		cid := int64(c)
+		tier := int64(1 + rng.Intn(3))
+		ct.MustInsert(iv(cid), sv(fmt.Sprintf("TAX%09d", c)), iv(tier),
+			sv(fmt.Sprintf("LNAME%04d", c)), iv(rng.Int63n(64)))
+		cxt.MustInsert(sv(fmt.Sprintf("TX%d", rng.Intn(4))), iv(cid))
+		wlt.MustInsert(iv(cid), iv(cid))
+		seenWI := map[int64]bool{}
+		for w := 0; w < 3; w++ {
+			sy := rng.Int63n(Securities)
+			if !seenWI[sy] {
+				seenWI[sy] = true
+				wit.MustInsert(iv(cid), sv(symbol(sy)))
+			}
+		}
+		nAcc := 1 + rng.Intn(AccountsPerCust)
+		for a := 0; a < nAcc; a++ {
+			broker := rng.Int63n(int64(brokers))
+			cat.MustInsert(iv(caID), iv(broker), iv(cid),
+				sv(fmt.Sprintf("acct-%d-%d", c, a)), fv(10000*rng.Float64()))
+			apt.MustInsert(iv(caID), sv(fmt.Sprintf("TAX%09d", c)), sv("rw"))
+			loadAccountActivity(d, rng, caID, broker, &tradeID)
+			caID++
+		}
+	}
+	return d, nil
+}
+
+// loadReference fills the read-only market and customer reference tables.
+func loadReference(d *db.DB, rng *rand.Rand) {
+	d.Table("ZIP_CODE").MustInsert(sv("53706"), sv("Madison"))
+	for a := 0; a < 64; a++ {
+		d.Table("ADDRESS").MustInsert(iv(int64(a)), sv(fmt.Sprintf("%d Main St", a)), sv("53706"))
+	}
+	for _, ex := range []string{"NYSE", "NASDAQ"} {
+		d.Table("EXCHANGE").MustInsert(sv(ex), sv(ex+" Exchange"), iv(0))
+	}
+	for _, st := range []string{"CMPT", "PNDG", "SBMT", "CNCL"} {
+		d.Table("STATUS_TYPE").MustInsert(sv(st), sv(st))
+	}
+	for i, tt := range []string{"TMB", "TMS", "TLB", "TLS"} {
+		d.Table("TRADE_TYPE").MustInsert(sv(tt), sv(tt), iv(int64(i%2)))
+		for tier := 1; tier <= 3; tier++ {
+			d.Table("CHARGE").MustInsert(sv(tt), iv(int64(tier)), fv(float64(tier)))
+			for _, ex := range []string{"NYSE", "NASDAQ"} {
+				d.Table("COMMISSION_RATE").MustInsert(iv(int64(tier)), sv(tt), sv(ex), fv(0.1))
+			}
+		}
+	}
+	for t := 0; t < 4; t++ {
+		d.Table("TAXRATE").MustInsert(sv(fmt.Sprintf("TX%d", t)), sv("rate"), fv(0.1*float64(t)))
+	}
+	for _, sc := range []string{"TECH", "FIN"} {
+		d.Table("SECTOR").MustInsert(sv(sc), sv(sc))
+	}
+	for i := 0; i < 4; i++ {
+		sc := "TECH"
+		if i%2 == 1 {
+			sc = "FIN"
+		}
+		d.Table("INDUSTRY").MustInsert(sv(fmt.Sprintf("IN%d", i)), sv("industry"), sv(sc))
+	}
+	for co := 0; co < Companies; co++ {
+		d.Table("COMPANY").MustInsert(iv(int64(co)), sv(fmt.Sprintf("Company %02d", co)),
+			sv(fmt.Sprintf("IN%d", co%4)), iv(int64(co%64)))
+		d.Table("NEWS_ITEM").MustInsert(iv(int64(co)), sv("headline"))
+		d.Table("NEWS_XREF").MustInsert(iv(int64(co)), iv(int64(co)))
+		for q := 1; q <= 4; q++ {
+			d.Table("FINANCIAL").MustInsert(iv(int64(co)), iv(2013), iv(int64(q)), fv(1e6))
+		}
+		if co > 0 {
+			d.Table("COMPANY_COMPETITOR").MustInsert(iv(int64(co)), iv(int64(co-1)),
+				sv(fmt.Sprintf("IN%d", co%4)))
+		}
+	}
+	for sy := int64(0); sy < Securities; sy++ {
+		ex := "NYSE"
+		if sy%2 == 1 {
+			ex = "NASDAQ"
+		}
+		d.Table("SECURITY").MustInsert(sv(symbol(sy)), sv("security"),
+			iv(sy%Companies), sv(ex), iv(1_000_000))
+		d.Table("LAST_TRADE").MustInsert(sv(symbol(sy)), fv(20+rng.Float64()*80), iv(0))
+		for day := 0; day < DateDomain; day += 7 {
+			d.Table("DAILY_MARKET").MustInsert(sv(symbol(sy)), iv(int64(day)),
+				fv(20+rng.Float64()*80), iv(rng.Int63n(10000)))
+		}
+	}
+}
+
+// loadAccountActivity seeds an account's holdings and trade history:
+// HOLDING_SUMMARY and HOLDING rows, completed trades with TRADE_HISTORY /
+// SETTLEMENT / CASH_TRANSACTION / HOLDING_HISTORY, and the occasional
+// pending TRADE_REQUEST.
+func loadAccountActivity(d *db.DB, rng *rand.Rand, caID, broker int64, tradeID *int64) {
+	seen := map[int64]bool{}
+	for h := 0; h < HoldingsPerAcct; h++ {
+		sy := rng.Int63n(Securities)
+		if seen[sy] {
+			continue
+		}
+		seen[sy] = true
+		qty := int64(100 * (1 + rng.Intn(5)))
+		d.Table("HOLDING_SUMMARY").MustInsert(iv(caID), sv(symbol(sy)), iv(qty))
+		// The holding was created by a completed buy trade.
+		tid := *tradeID
+		*tradeID++
+		dts := rng.Int63n(DateDomain)
+		d.Table("TRADE").MustInsert(iv(tid), iv(dts), sv("CMPT"), sv("TMB"),
+			sv(symbol(sy)), iv(qty), iv(caID), fv(25), sv("exec"))
+		d.Table("TRADE_HISTORY").MustInsert(iv(tid), sv("CMPT"), iv(dts))
+		d.Table("SETTLEMENT").MustInsert(iv(tid), sv("cash"), fv(float64(qty)*25))
+		d.Table("CASH_TRANSACTION").MustInsert(iv(tid), iv(dts), fv(float64(qty)*25))
+		d.Table("HOLDING").MustInsert(iv(tid), iv(caID), sv(symbol(sy)), iv(dts), iv(qty))
+		d.Table("HOLDING_HISTORY").MustInsert(iv(tid), iv(tid), iv(0), iv(qty))
+	}
+	// Additional completed trades without live holdings.
+	for t := 0; t < TradesPerAccount-HoldingsPerAcct; t++ {
+		tid := *tradeID
+		*tradeID++
+		sy := rng.Int63n(Securities)
+		dts := rng.Int63n(DateDomain)
+		qty := int64(100)
+		d.Table("TRADE").MustInsert(iv(tid), iv(dts), sv("CMPT"), sv("TMS"),
+			sv(symbol(sy)), iv(qty), iv(caID), fv(25), sv("exec"))
+		d.Table("TRADE_HISTORY").MustInsert(iv(tid), sv("CMPT"), iv(dts))
+		d.Table("SETTLEMENT").MustInsert(iv(tid), sv("margin"), fv(2500))
+		d.Table("CASH_TRANSACTION").MustInsert(iv(tid), iv(dts), fv(2500))
+	}
+	// One pending limit order per few accounts.
+	if rng.Intn(4) == 0 {
+		tid := *tradeID
+		*tradeID++
+		sy := rng.Int63n(Securities)
+		dts := rng.Int63n(DateDomain)
+		d.Table("TRADE").MustInsert(iv(tid), iv(dts), sv("PNDG"), sv("TLB"),
+			sv(symbol(sy)), iv(100), iv(caID), fv(0), sv("exec"))
+		d.Table("TRADE_HISTORY").MustInsert(iv(tid), sv("PNDG"), iv(dts))
+		d.Table("TRADE_REQUEST").MustInsert(iv(tid), sv("TLB"), sv(symbol(sy)),
+			iv(100), iv(broker), fv(24))
+	}
+}

@@ -1,0 +1,30 @@
+package tpce
+
+import (
+	"repro/internal/horticulture"
+	"repro/internal/partition"
+)
+
+// PublishedHorticulture returns the Horticulture TPC-E solution exactly
+// as the paper's Table 4 lists it (supplied to the authors by
+// Horticulture's authors): intra-table hash partitioning per column, with
+// CUSTOMER_ACCOUNT, TRADE_REQUEST and BROKER replicated. Used by the
+// Figure 7 comparison and Figure 9's per-class breakdown.
+func PublishedHorticulture(k int) (*partition.Solution, error) {
+	return horticulture.FromColumns(Schema(), k, map[string]string{
+		"ACCOUNT_PERMISSION": "AP_CA_ID",
+		"CUSTOMER_TAXRATE":   "CX_C_ID",
+		"DAILY_MARKET":       "DM_DATE",
+		"WATCH_LIST":         "WL_C_ID",
+		"CASH_TRANSACTION":   "CT_T_ID",
+		"CUSTOMER_ACCOUNT":   "", // replicated
+		"HOLDING":            "H_CA_ID",
+		"HOLDING_HISTORY":    "HH_T_ID",
+		"HOLDING_SUMMARY":    "HS_CA_ID",
+		"SETTLEMENT":         "SE_T_ID",
+		"TRADE":              "T_CA_ID",
+		"TRADE_HISTORY":      "TH_T_ID",
+		"TRADE_REQUEST":      "", // replicated
+		"BROKER":             "", // replicated
+	})
+}

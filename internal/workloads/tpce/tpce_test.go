@@ -1,0 +1,217 @@
+package tpce
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/sqlparse"
+	"repro/internal/workloads"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Tables()); got != 33 {
+		t.Errorf("tables = %d, want 33", got)
+	}
+	if got := len(s.ForeignKeys); got < 40 {
+		t.Errorf("FKs = %d, want >= 40", got)
+	}
+	cols := 0
+	for _, tb := range s.Tables() {
+		cols += len(tb.Columns)
+	}
+	if cols < 100 {
+		t.Errorf("columns = %d, want >= 100", cols)
+	}
+}
+
+func TestGenerateAndAnalyze(t *testing.T) {
+	d, err := Generate(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table("CUSTOMER").Len() != 50 {
+		t.Errorf("customers = %d", d.Table("CUSTOMER").Len())
+	}
+	if d.Table("CUSTOMER_ACCOUNT").Len() < 50 {
+		t.Errorf("accounts = %d", d.Table("CUSTOMER_ACCOUNT").Len())
+	}
+	if d.Table("TRADE").Len() == 0 || d.Table("HOLDING_SUMMARY").Len() == 0 {
+		t.Error("trade history not seeded")
+	}
+	if _, err := Generate(0, 1); err == nil {
+		t.Error("zero customers must error")
+	}
+	for _, c := range New().Classes() {
+		if _, err := sqlparse.Analyze(c.Proc, d.Schema()); err != nil {
+			t.Errorf("%s: %v", c.Proc.Name, err)
+		}
+	}
+	if got := len(New().Classes()); got != 15 {
+		t.Errorf("classes = %d, want 15 (Table 3)", got)
+	}
+}
+
+// tpceRun executes the full JECB pipeline once and is shared by the
+// assertions below (TPC-E runs take ~1s).
+func tpceRun(t *testing.T) (*core.Report, *eval.Result) {
+	t.Helper()
+	b := New()
+	d, err := b.Load(workloads.Config{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, 4000, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+	sol, rep, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eval.Evaluate(d, sol, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, r
+}
+
+// TestPaperSection75 asserts the headline §7.5 results in one run:
+// Example 10's four candidate attributes and C_ID winner, Table 3's
+// per-class solutions, Table 4's placements, and Figure 8's per-class
+// distribution profile, with the overall cost near the paper's 21%.
+func TestPaperSection75(t *testing.T) {
+	rep, r := tpceRun(t)
+
+	// Example 10: candidate attributes {C_ID, B_ID, T_S_SYMB, T_DTS}
+	// (C_ID appears via its equivalent CA_C_ID), evaluated combinations
+	// in the tens, not millions.
+	attrs := map[string]bool{}
+	for _, a := range rep.CandidateAttributes {
+		attrs[a.Column] = true
+	}
+	for _, want := range []string{"B_ID", "T_S_SYMB", "T_DTS"} {
+		if !attrs[want] {
+			t.Errorf("candidate attributes missing %s: %v", want, rep.CandidateAttributes)
+		}
+	}
+	if !attrs["CA_C_ID"] && !attrs["C_ID"] {
+		t.Errorf("candidate attributes missing customer id: %v", rep.CandidateAttributes)
+	}
+	if len(rep.CandidateAttributes) != 4 {
+		t.Errorf("candidate attributes = %v, want 4 (Example 10)", rep.CandidateAttributes)
+	}
+	if rep.CombosEvaluated > 64 {
+		t.Errorf("combos evaluated = %d, want a handful (Example 10: 12)", rep.CombosEvaluated)
+	}
+	if rep.UnprunedSpace < 1_000_000 {
+		t.Errorf("unpruned space = %d, want millions", rep.UnprunedSpace)
+	}
+	// The winner is the customer attribute.
+	if rep.ChosenAttribute.Column != "CA_C_ID" && rep.ChosenAttribute.Column != "C_ID" {
+		t.Errorf("chosen attribute = %v, want customer id", rep.ChosenAttribute)
+	}
+
+	// Overall cost near the paper's 21% for k=8.
+	if r.Cost() < 0.15 || r.Cost() > 0.30 {
+		t.Errorf("overall cost = %.3f, want ≈0.21", r.Cost())
+	}
+
+	// Table 3 rows.
+	rows := map[string]string{}
+	for _, row := range rep.Table3() {
+		rows[row.Class] = row.Total
+	}
+	wantTotals := map[string]string{
+		"Broker-Volume":       "No",
+		"Customer-Position":   "CA_C_ID",
+		"Market-Feed":         "No",
+		"Market-Watch":        "HS_CA_ID",
+		"Security-Detail":     "Read-only",
+		"Trade-Lookup Frame1": "No",
+		"Trade-Lookup Frame2": "CA_ID",
+		"Trade-Order":         "B_ID",
+		"Trade-Result":        "B_ID",
+		"Trade-Status":        "B_ID",
+		"Trade-Update Frame1": "No",
+	}
+	for class, want := range wantTotals {
+		if rows[class] != want {
+			t.Errorf("Table 3 %s: total = %q, want %q", class, rows[class], want)
+		}
+	}
+	for _, class := range []string{"Trade-Lookup Frame3", "Trade-Update Frame3"} {
+		if !strings.Contains(rows[class], "T_S_SYMB") || !strings.Contains(rows[class], "T_DTS") {
+			t.Errorf("Table 3 %s: total = %q, want T_S_SYMB or T_DTS", class, rows[class])
+		}
+	}
+	for _, class := range []string{"Trade-Lookup Frame4", "Trade-Update Frame2"} {
+		if !strings.Contains(rows[class], "T_CA_ID") || !strings.Contains(rows[class], "T_DTS") {
+			t.Errorf("Table 3 %s: total = %q, want CA_ID(T_CA_ID) or T_DTS", class, rows[class])
+		}
+	}
+	// Trade-Order/Result/Status carry the CA_ID partial solution.
+	partials := map[string]string{}
+	for _, row := range rep.Table3() {
+		partials[row.Class] = row.Partial
+	}
+	for _, class := range []string{"Trade-Order", "Trade-Result", "Trade-Status"} {
+		if !strings.Contains(partials[class], "CA_ID") {
+			t.Errorf("Table 3 %s: partial = %q, want CA_ID present", class, partials[class])
+		}
+	}
+
+	// Table 4: BROKER replicated, TRADE_REQUEST partitioned through the
+	// trade → account → customer join path, LAST_TRADE replicated
+	// (read-mostly), HOLDING_SUMMARY through HS_CA_ID.
+	sol := rep.Solution
+	if ts := sol.Table("BROKER"); ts == nil || !ts.Replicate {
+		t.Error("Table 4: BROKER must be replicated")
+	}
+	if ts := sol.Table("LAST_TRADE"); ts == nil || !ts.Replicate {
+		t.Error("Table 4: LAST_TRADE must be replicated (read-mostly)")
+	}
+	tr := sol.Table("TRADE_REQUEST")
+	if tr == nil || tr.Replicate {
+		t.Fatal("Table 4: TRADE_REQUEST must be partitioned (unlike Horticulture)")
+	}
+	if got := tr.Path.String(); !strings.Contains(got, "TRADE.T_CA_ID") ||
+		!strings.Contains(got, "CUSTOMER_ACCOUNT.CA_ID") {
+		t.Errorf("TRADE_REQUEST path = %s, want TR_T_ID -> T_ID -> T_CA_ID -> CA_ID -> ...", got)
+	}
+	for _, tbl := range []string{"TRADE", "CASH_TRANSACTION", "SETTLEMENT", "HOLDING",
+		"HOLDING_HISTORY", "HOLDING_SUMMARY", "CUSTOMER_ACCOUNT", "TRADE_HISTORY"} {
+		ts := sol.Table(tbl)
+		if ts == nil || ts.Replicate {
+			t.Errorf("Table 4: %s must be partitioned", tbl)
+			continue
+		}
+		attr, _ := ts.Attribute()
+		if attr.Column != "CA_C_ID" && attr.Column != "C_ID" {
+			t.Errorf("Table 4: %s partitioned by %v, want customer id", tbl, attr)
+		}
+	}
+
+	// Figure 8: group 1 (non-partitionable) and group 2 (incompatible
+	// attributes) distribute; everything else is local.
+	wantHigh := []string{"Broker-Volume", "Market-Feed", "Trade-Lookup Frame1",
+		"Trade-Update Frame1", "Trade-Lookup Frame3", "Trade-Update Frame3", "Trade-Result"}
+	for _, class := range wantHigh {
+		if c := r.ByClass[class]; c == nil || c.Cost() < 0.5 {
+			t.Errorf("Figure 8: %s cost = %v, want high", class, r.ByClass[class])
+		}
+	}
+	wantLow := []string{"Customer-Position", "Market-Watch", "Security-Detail",
+		"Trade-Lookup Frame2", "Trade-Order", "Trade-Status"}
+	for _, class := range wantLow {
+		if c := r.ByClass[class]; c == nil || c.Cost() > 0.1 {
+			t.Errorf("Figure 8: %s cost = %v, want ~0", class, r.ByClass[class])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package workloads defines the uniform interface every OLTP benchmark in
+// this repository implements — schema, synthetic data generator,
+// transaction classes (SQL source + executable body) — plus the registry
+// the command-line tools and experiment drivers resolve benchmarks from.
+//
+// The benchmarks themselves live in subpackages (tpcc, tatp, tpce, seats,
+// auctionmark, synthetic); import repro/internal/workloads/all to register
+// every one of them.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/sqlparse"
+	"repro/internal/trace"
+)
+
+// Config scales a benchmark's generated database. The zero value asks for
+// the benchmark's default (laptop-sized) scale.
+type Config struct {
+	// Scale is the benchmark's primary scale knob: warehouses for TPC-C,
+	// subscribers (thousands) for TATP, customers for TPC-E, and so on.
+	Scale int
+	// Seed drives data generation.
+	Seed int64
+}
+
+// Class is one transaction class: its stored-procedure source (what JECB
+// analyzes) and its executable body (what generates traced transactions).
+type Class struct {
+	Proc *sqlparse.Procedure
+	// Weight is the class's share of the workload mix.
+	Weight float64
+	// Run executes one transaction against the database, recording every
+	// tuple access through the collector (Begin/Commit included).
+	Run func(d *db.DB, col *trace.Collector, rng *rand.Rand)
+}
+
+// Benchmark is a runnable OLTP benchmark.
+type Benchmark interface {
+	// Name is the registry key ("tpcc", "tpce", ...).
+	Name() string
+	// DefaultScale is the scale used when Config.Scale is zero.
+	DefaultScale() int
+	// Load generates a database at the given scale.
+	Load(cfg Config) (*db.DB, error)
+	// Classes returns the transaction classes with their mix weights.
+	Classes() []Class
+}
+
+// Procedures returns the stored procedures of a benchmark's classes.
+func Procedures(b Benchmark) []*sqlparse.Procedure {
+	classes := b.Classes()
+	out := make([]*sqlparse.Procedure, len(classes))
+	for i, c := range classes {
+		out[i] = c.Proc
+	}
+	return out
+}
+
+// GenerateTrace runs n transactions drawn from the benchmark's mix
+// against the database, returning the collected trace.
+func GenerateTrace(b Benchmark, d *db.DB, n int, seed int64) *trace.Trace {
+	classes := b.Classes()
+	total := 0.0
+	for _, c := range classes {
+		total += c.Weight
+	}
+	rng := rand.New(rand.NewSource(seed))
+	col := trace.NewCollector()
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		acc := 0.0
+		pick := classes[len(classes)-1]
+		for _, c := range classes {
+			acc += c.Weight
+			if x < acc {
+				pick = c
+				break
+			}
+		}
+		pick.Run(d, col, rng)
+	}
+	return col.Trace()
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Benchmark{}
+)
+
+// Register adds a benchmark to the registry; it panics on duplicates
+// (registration is static program structure).
+func Register(b Benchmark) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("workloads: duplicate benchmark %q", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Get resolves a registered benchmark by name.
+func Get(name string) (Benchmark, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists the registered benchmarks, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func TestRegistry(t *testing.T) {
+	names := workloads.Names()
+	want := []string{"auctionmark", "seats", "synthetic", "tatp", "tpcc", "tpce"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+	for _, n := range names {
+		b, ok := workloads.Get(n)
+		if !ok {
+			t.Fatalf("Get(%s) failed", n)
+		}
+		if b.Name() != n {
+			t.Errorf("Name() = %s, want %s", b.Name(), n)
+		}
+		if b.DefaultScale() <= 0 {
+			t.Errorf("%s: default scale = %d", n, b.DefaultScale())
+		}
+		if len(b.Classes()) == 0 {
+			t.Errorf("%s: no classes", n)
+		}
+		total := 0.0
+		for _, c := range b.Classes() {
+			if c.Proc == nil || c.Run == nil {
+				t.Errorf("%s: class missing proc or run", n)
+			}
+			total += c.Weight
+		}
+		if total < 0.95 || total > 1.05 {
+			t.Errorf("%s: mix weights sum to %v", n, total)
+		}
+	}
+	if _, ok := workloads.Get("nope"); ok {
+		t.Error("unknown benchmark must not resolve")
+	}
+}
+
+// TestTraceSmoke loads each benchmark at a tiny scale and generates a
+// short trace — a cross-benchmark smoke test of the generators.
+func TestTraceSmoke(t *testing.T) {
+	for _, n := range workloads.Names() {
+		b, _ := workloads.Get(n)
+		d, err := b.Load(workloads.Config{Scale: smallScale(n), Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		tr := workloads.GenerateTrace(b, d, 50, 2)
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", n)
+		}
+		if len(workloads.Procedures(b)) != len(b.Classes()) {
+			t.Errorf("%s: procedures mismatch", n)
+		}
+	}
+}
+
+func smallScale(name string) int {
+	switch name {
+	case "tpcc":
+		return 2
+	case "tatp":
+		return 50
+	default:
+		return 30
+	}
+}

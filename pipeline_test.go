@@ -1,0 +1,90 @@
+// End-to-end pipeline test: the full deployability story on TPC-E —
+// partition with JECB, serialize the solution to JSON, reload it, verify
+// the reloaded solution evaluates identically, and route live invocations
+// with it.
+package repro_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/partition"
+	"repro/internal/router"
+	"repro/internal/sqlparse"
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
+)
+
+func TestFullPipelineRoundTrip(t *testing.T) {
+	b, _ := workloads.Get("tpce")
+	d, err := b.Load(workloads.Config{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, 4000, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+
+	// 1. Partition.
+	sol, _, err := core.Partition(core.Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, core.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := eval.Evaluate(d, sol, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Ship: serialize and reload, as cmd/jecb -out + a routing tier
+	// would.
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reloaded partition.Solution
+	if err := json.Unmarshal(data, &reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := reloaded.Validate(d.Schema()); err != nil {
+		t.Fatalf("reloaded solution invalid: %v", err)
+	}
+
+	// 3. The reloaded solution evaluates identically.
+	again, err := eval.Evaluate(d, &reloaded, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Cost() != again.Cost() || orig.Distributed != again.Distributed {
+		t.Errorf("reloaded solution differs: %.4f/%d vs %.4f/%d",
+			orig.Cost(), orig.Distributed, again.Cost(), again.Distributed)
+	}
+
+	// 4. Route live invocations with the reloaded solution.
+	var analyses []*sqlparse.Analysis
+	for _, proc := range workloads.Procedures(b) {
+		a, err := sqlparse.Analyze(proc, d.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyses = append(analyses, a)
+	}
+	rt, err := router.New(d, &reloaded, analyses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	for i := range test.Txns {
+		if parts := rt.Route(test.Txns[i].Class, test.Txns[i].Params); len(parts) == 1 {
+			single++
+		}
+	}
+	// Most of the workload is single-partition under the C_ID solution
+	// (Figure 8), and the router must realize a large share of that.
+	if float64(single) < 0.5*float64(test.Len()) {
+		t.Errorf("only %d/%d invocations single-routed", single, test.Len())
+	}
+}
