@@ -1,0 +1,39 @@
+# JECB reproduction — build, verification, and artifact targets.
+
+GO ?= go
+
+.PHONY: all build test verify bench bench-export experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: static checks, a full build, and the test
+# suite under the race detector.
+verify:
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench runs the micro-benchmarks (experiment-scale benches run via
+# `go test -bench=BenchmarkFigure7 -benchtime=1x` etc).
+bench:
+	$(GO) test -bench='PathEval|Evaluate|GraphPartition|ValueHash' -benchmem -run=^$$ .
+
+# bench-export writes BENCH_obs.json, the machine-readable perf
+# trajectory (ns/op, allocs/op, B/op per micro-benchmark).
+bench-export:
+	BENCH_EXPORT=1 $(GO) test -run TestBenchExport -v .
+
+# experiments regenerates the paper's tables and figures at reduced
+# scales, with the phase trace and a metrics artifact.
+experiments:
+	$(GO) run ./cmd/experiments -run all -quick -trace-report -metrics experiments_obs.json
+
+clean:
+	rm -f BENCH_obs.json experiments_obs.json

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,70 +19,93 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	_ "repro/internal/workloads/all"
 )
 
 func main() {
 	var (
-		which = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation all)")
-		quick = flag.Bool("quick", false, "reduced scales (~30s total)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation all)")
+		quick       = flag.Bool("quick", false, "reduced scales (~30s total)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
+		traceReport = flag.Bool("trace-report", false, "print the per-experiment span tree")
 	)
 	flag.Parse()
-	if err := run(*which, *quick, *seed); err != nil {
+	ctx, tr := obs.WithTrace(context.Background(), "experiments")
+	err := run(ctx, *which, *quick, *seed)
+	tr.Finish()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *traceReport {
+		fmt.Println("\nphase trace:")
+		fmt.Print(tr.Report())
+	}
+	if *metricsOut != "" {
+		if err := obs.Default.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics written to", *metricsOut)
+	}
 }
 
-func run(which string, quick bool, seed int64) error {
+func run(ctx context.Context, which string, quick bool, seed int64) error {
 	want := func(name string) bool { return which == "all" || which == name }
+	// step runs one experiment under its own span.
+	step := func(name string, f func() error) error {
+		_, span := obs.StartSpan(ctx, name)
+		defer span.End()
+		return f()
+	}
 	ran := false
 	if want("fig5") {
 		ran = true
-		if err := scaling(5, pick(quick, 32, 128), seed); err != nil {
+		if err := step("fig5", func() error { return scaling(5, pick(quick, 32, 128), seed) }); err != nil {
 			return err
 		}
 	}
 	if want("fig6") {
 		ran = true
-		if err := scaling(6, pick(quick, 64, 1024), seed); err != nil {
+		if err := step("fig6", func() error { return scaling(6, pick(quick, 64, 1024), seed) }); err != nil {
 			return err
 		}
 	}
 	if want("table1") {
 		ran = true
-		if err := resources(1, pick(quick, 32, 128), seed); err != nil {
+		if err := step("table1", func() error { return resources(1, pick(quick, 32, 128), seed) }); err != nil {
 			return err
 		}
 	}
 	if want("table2") {
 		ran = true
-		if err := resources(2, pick(quick, 64, 1024), seed); err != nil {
+		if err := step("table2", func() error { return resources(2, pick(quick, 64, 1024), seed) }); err != nil {
 			return err
 		}
 	}
 	if want("fig7") {
 		ran = true
-		if err := quality(quick, seed); err != nil {
+		if err := step("fig7", func() error { return quality(quick, seed) }); err != nil {
 			return err
 		}
 	}
 	if want("tpce") || want("table3") || want("table4") || want("fig8") || want("fig9") {
 		ran = true
-		if err := tpceDeepDive(quick, seed); err != nil {
+		if err := step("tpce", func() error { return tpceDeepDive(quick, seed) }); err != nil {
 			return err
 		}
 	}
 	if want("synthetic") {
 		ran = true
-		if err := synthetic(quick, seed); err != nil {
+		if err := step("synthetic", func() error { return synthetic(quick, seed) }); err != nil {
 			return err
 		}
 	}
 	if want("ablation") {
 		ran = true
-		if err := ablation(quick, seed); err != nil {
+		if err := step("ablation", func() error { return ablation(quick, seed) }); err != nil {
 			return err
 		}
 	}

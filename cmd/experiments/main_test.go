@@ -1,21 +1,24 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", true, 1); err == nil {
+	if err := run(context.Background(), "nope", true, 1); err == nil {
 		t.Error("unknown experiment must error")
 	}
 }
 
 func TestRunSyntheticQuick(t *testing.T) {
-	if err := run("synthetic", true, 1); err != nil {
+	if err := run(context.Background(), "synthetic", true, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTPCEQuick(t *testing.T) {
-	if err := run("tpce", true, 1); err != nil {
+	if err := run(context.Background(), "tpce", true, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	jecb -benchmark tpce -algo jecb -k 8 -txns 4000
+//
+// Observability flags:
+//
+//	-metrics out.json   dump the obs metrics registry as JSON on exit
+//	-trace-report       print the phase span tree (load/trace/partition/...)
+//	-debug-addr :8080   serve /debug/pprof, /debug/vars, /metrics while running
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,77 +22,117 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/horticulture"
+	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/router"
 	"repro/internal/schism"
+	"repro/internal/sqlparse"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	_ "repro/internal/workloads/all"
 )
 
 func main() {
 	var (
-		benchmark = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
-		algo      = flag.String("algo", "jecb", "partitioner: jecb, schism, horticulture")
-		k         = flag.Int("k", 8, "number of partitions")
-		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
-		txns      = flag.Int("txns", 4000, "transactions to trace")
-		trainFrac = flag.Float64("train", 0.5, "training fraction of the trace")
-		seed      = flag.Int64("seed", 1, "random seed")
-		verbose   = flag.Bool("v", false, "print the full report")
-		out       = flag.String("out", "", "write the solution as JSON to this file")
+		benchmark   = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
+		algo        = flag.String("algo", "jecb", "partitioner: jecb, schism, horticulture")
+		k           = flag.Int("k", 8, "number of partitions")
+		scale       = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		txns        = flag.Int("txns", 4000, "transactions to trace")
+		trainFrac   = flag.Float64("train", 0.5, "training fraction of the trace")
+		seed        = flag.Int64("seed", 1, "random seed")
+		verbose     = flag.Bool("v", false, "print the full report")
+		out         = flag.String("out", "", "write the solution as JSON to this file")
+		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
+		traceReport = flag.Bool("trace-report", false, "print the phase span tree")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
-	if err := run(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *verbose); err != nil {
+
+	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed,
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
-	if *out != "" {
-		if err := save(*out); err != nil {
-			fmt.Fprintln(os.Stderr, "jecb:", err)
-			os.Exit(1)
-		}
-		fmt.Println("solution written to", *out)
-	}
 }
 
-// lastSolution holds the most recent run's solution for -out.
-var lastSolution *partition.Solution
-
-// save writes the last computed solution as JSON.
-func save(path string) error {
-	if lastSolution == nil {
-		return fmt.Errorf("no solution to save")
+// realMain is the single exit path: it wires observability around run,
+// saves artifacts from run's return value, and reports errors upward.
+func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64,
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string) error {
+	if debugAddr != "" {
+		obs.PublishExpvar()
+		srv, err := obs.ServeDebug(debugAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/pprof/ (also /metrics, /metricsz, /debug/vars)\n", srv.Addr())
 	}
-	data, err := json.MarshalIndent(lastSolution, "", "  ")
+
+	ctx, tr := obs.WithTrace(context.Background(), "jecb/run")
+	sol, err := run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose)
+	tr.Finish()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+
+	if out != "" {
+		data, err := json.MarshalIndent(sol, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("solution written to", out)
+	}
+	if traceReport {
+		fmt.Println("phase trace:")
+		fmt.Print(tr.Report())
+	}
+	if metricsOut != "" {
+		if err := obs.Default.WriteJSONFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Println("metrics written to", metricsOut)
+	}
+	return nil
 }
 
-func run(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool) error {
+// run executes the pipeline — load, trace, partition, evaluate, route —
+// and returns the computed solution.
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
+		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
 	}
 	fmt.Printf("loading %s (scale %d) ...\n", benchmark, effectiveScale(b, scale))
+	_, sLoad := obs.StartSpan(ctx, "load")
 	d, err := b.Load(workloads.Config{Scale: scale, Seed: seed})
+	sLoad.End()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("  %d rows across %d tables\n", d.TotalRows(), len(d.Schema().Tables()))
+
+	_, sTrace := obs.StartSpan(ctx, "trace")
 	full := workloads.GenerateTrace(b, d, txns, seed+1)
 	train, test := full.TrainTest(trainFrac, rand.New(rand.NewSource(seed+2)))
+	sTrace.End()
 	fmt.Printf("  trace: %d train / %d test transactions\n", train.Len(), test.Len())
 
 	var sol *partition.Solution
+	pctx, sPart := obs.StartSpan(ctx, "partition/"+algo)
 	switch algo {
 	case "jecb":
 		res, measureErr := eval.Measure(func() error {
 			var rep *core.Report
 			var err error
-			sol, rep, err = core.Partition(core.Input{
+			sol, rep, err = core.PartitionContext(pctx, core.Input{
 				DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 			}, core.Options{K: k, Seed: seed})
 			if err == nil && verbose {
@@ -94,48 +141,99 @@ func run(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int
 			return err
 		})
 		if measureErr != nil {
-			return measureErr
+			sPart.End()
+			return nil, measureErr
 		}
-		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+		printResources(res)
 	case "schism":
 		var st *schism.Stats
 		res, measureErr := eval.Measure(func() error {
 			var err error
-			sol, st, err = schism.Partition(schism.Input{DB: d, Train: train},
+			sol, st, err = schism.PartitionContext(pctx, schism.Input{DB: d, Train: train},
 				schism.Options{K: k, Seed: seed})
 			return err
 		})
 		if measureErr != nil {
-			return measureErr
+			sPart.End()
+			return nil, measureErr
 		}
 		fmt.Printf("  tuple graph: %d nodes, %d edges, cut %.0f\n", st.GraphNodes, st.GraphEdges, st.EdgeCut)
-		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+		printResources(res)
 	case "horticulture":
 		res, measureErr := eval.Measure(func() error {
 			var err error
-			sol, err = horticulture.Search(horticulture.Input{DB: d, Train: train},
+			sol, err = horticulture.SearchContext(pctx, horticulture.Input{DB: d, Train: train},
 				horticulture.Options{K: k, Seed: seed})
 			return err
 		})
 		if measureErr != nil {
-			return measureErr
+			sPart.End()
+			return nil, measureErr
 		}
-		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs\n", res.AllocMB(), res.CPU.Seconds())
+		printResources(res)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		sPart.End()
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
+	sPart.End()
 
-	lastSolution = sol
 	if verbose {
 		fmt.Println(sol.String())
 	}
+	_, sEval := obs.StartSpan(ctx, "evaluate")
 	r, err := eval.Evaluate(d, sol, test)
+	sEval.End()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(r.String())
 	for _, c := range r.Classes() {
 		fmt.Printf("  %-26s %6.1f%% distributed (%d/%d)\n", c.Class, 100*c.Cost(), c.Distributed, c.Total)
+	}
+
+	// Routing stage: build the runtime router from the code analysis and
+	// route every test transaction, reporting how many go to one partition.
+	_, sRoute := obs.StartSpan(ctx, "route")
+	err = routeStage(d, sol, b, test)
+	sRoute.End()
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// routeStage builds a router for the solution and routes the test trace's
+// invocations, printing the local / multi-partition / broadcast mix.
+func routeStage(d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace) error {
+	var analyses []*sqlparse.Analysis
+	for _, proc := range workloads.Procedures(b) {
+		a, err := sqlparse.Analyze(proc, d.Schema())
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", proc.Name, err)
+		}
+		analyses = append(analyses, a)
+	}
+	rt, err := router.New(d, sol, analyses)
+	if err != nil {
+		return err
+	}
+	local, multi, broadcast := 0, 0, 0
+	for i := range test.Txns {
+		t := &test.Txns[i]
+		parts := rt.Route(t.Class, t.Params)
+		switch {
+		case len(parts) == 1:
+			local++
+		case len(parts) >= sol.K:
+			broadcast++
+		default:
+			multi++
+		}
+	}
+	if n := test.Len(); n > 0 {
+		fmt.Printf("  router: %.1f%% single-partition, %.1f%% multi, %.1f%% broadcast (%d invocations)\n",
+			100*float64(local)/float64(n), 100*float64(multi)/float64(n),
+			100*float64(broadcast)/float64(n), n)
 	}
 	return nil
 }
@@ -145,4 +243,16 @@ func effectiveScale(b workloads.Benchmark, scale int) int {
 		return b.DefaultScale()
 	}
 	return scale
+}
+
+// printResources reports the partitioner's resource consumption: allocated
+// MB, wall time, and OS-reported CPU time when available.
+func printResources(res eval.Resources) {
+	if res.CPUKnown {
+		fmt.Printf("  partitioner: %.0f MB allocated, %.2fs wall, %.2fs cpu\n",
+			res.AllocMB(), res.Wall.Seconds(), res.CPU.Seconds())
+		return
+	}
+	fmt.Printf("  partitioner: %.0f MB allocated, %.2fs wall (cpu time unavailable)\n",
+		res.AllocMB(), res.Wall.Seconds())
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,37 +12,44 @@ import (
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		if err := run("tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb"); err != nil {
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb")
+		if err != nil {
 			t.Errorf("%s: %v", algo, err)
+			continue
+		}
+		if sol == nil || sol.K != 4 {
+			t.Errorf("%s: solution = %+v", algo, sol)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "jecb", 4, 0, 100, 0.5, 1, false); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if err := run("tatp", "nope", 4, 100, 100, 0.5, 1, false); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if err := run("synthetic", "jecb", 2, 0, 200, 0.5, 1, false); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
 
-func TestSaveSolution(t *testing.T) {
-	if err := run("tatp", "jecb", 2, 50, 200, 0.5, 1, false); err != nil {
+// TestRealMainArtifacts exercises the single exit path: solution JSON,
+// metrics JSON, and trace report all produced from one run.
+func TestRealMainArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	solPath := filepath.Join(dir, "sol.json")
+	metricsPath := filepath.Join(dir, "m.json")
+	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1,
+		false, solPath, metricsPath, true, ""); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(t.TempDir(), "sol.json")
-	if err := save(path); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(solPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,8 +60,22 @@ func TestSaveSolution(t *testing.T) {
 	if sol.K != 2 || sol.Table("SUBSCRIBER") == nil {
 		t.Errorf("reloaded solution = %+v", sol)
 	}
-	lastSolution = nil
-	if err := save(path); err == nil {
-		t.Error("save without solution must error")
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(mdata, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) == 0 {
+		t.Error("metrics JSON is empty")
+	}
+}
+
+func TestRealMainError(t *testing.T) {
+	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1,
+		false, "", "", false, ""); err == nil {
+		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

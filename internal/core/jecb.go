@@ -19,12 +19,28 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cRuns          = obs.Default.Counter("core.runs")
+	cClassesSolved = obs.Default.Counter("core.classes_solved")
+	cClassesRO     = obs.Default.Counter("core.classes_read_only")
+	cClassesNP     = obs.Default.Counter("core.classes_non_partitionable")
+	cTotalSols     = obs.Default.Counter("core.total_solutions")
+	cPartialSols   = obs.Default.Counter("core.partial_solutions")
+	cMinCutFall    = obs.Default.Counter("core.mincut_fallbacks")
+	cCombosEval    = obs.Default.Counter("core.combos_evaluated")
+	cBestImprove   = obs.Default.Counter("core.best_improvements")
+	gBestCost      = obs.Default.Gauge("core.best_cost")
 )
 
 // Options configures a JECB run.
@@ -119,15 +135,30 @@ func New(in Input, opts Options) (*Partitioner, error) {
 // report describing what each phase found (the raw material of the
 // paper's Tables 3–4).
 func (p *Partitioner) Run() (*partition.Solution, *Report, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext is Run with context-threaded phase tracing: when ctx carries
+// an obs.Trace, the run opens spans jecb/phase1, jecb/phase2 (one child
+// per transaction class) and jecb/phase3. Without a trace the spans are
+// free no-ops.
+func (p *Partitioner) RunContext(ctx context.Context) (*partition.Solution, *Report, error) {
+	cRuns.Inc()
+	_, s1 := obs.StartSpan(ctx, "jecb/phase1")
 	pre, err := p.phase1()
+	s1.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	classes, err := p.phase2(pre)
+	ctx2, s2 := obs.StartSpan(ctx, "jecb/phase2")
+	classes, err := p.phase2(ctx2, pre)
+	s2.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	_, s3 := obs.StartSpan(ctx, "jecb/phase3")
 	sol, rep, err := p.phase3(pre, classes)
+	s3.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -136,9 +167,14 @@ func (p *Partitioner) Run() (*partition.Solution, *Report, error) {
 
 // Partition is the convenience one-call API.
 func Partition(in Input, opts Options) (*partition.Solution, *Report, error) {
+	return PartitionContext(context.Background(), in, opts)
+}
+
+// PartitionContext is Partition with context-threaded phase tracing.
+func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.Solution, *Report, error) {
 	p, err := New(in, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.Run()
+	return p.RunContext(ctx)
 }

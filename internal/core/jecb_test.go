@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -96,7 +97,7 @@ func TestJECBPhase2CustInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := p.phase2(pre)
+	classes, err := p.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestJECBSubtreePartials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := p.phase2(pre)
+	classes, err := p.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}

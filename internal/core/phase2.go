@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graphpart"
 	"repro/internal/joingraph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schema"
 	"repro/internal/trace"
@@ -54,15 +56,33 @@ type ClassResult struct {
 }
 
 // phase2 finds total and partial solutions for every transaction class
-// (§5).
-func (p *Partitioner) phase2(pre *preprocessed) (map[string]*ClassResult, error) {
+// (§5). Each class gets its own child span jecb/phase2/<class> when ctx
+// carries a trace.
+func (p *Partitioner) phase2(ctx context.Context, pre *preprocessed) (map[string]*ClassResult, error) {
 	testStreams := p.in.Test.Split()
+	// Deterministic class order so span children appear in stable order.
+	classNames := make([]string, 0, len(pre.Streams))
+	for class := range pre.Streams {
+		classNames = append(classNames, class)
+	}
+	sort.Strings(classNames)
 	out := make(map[string]*ClassResult, len(pre.Streams))
-	for class, stream := range pre.Streams {
-		res, err := p.solveClass(pre, class, stream, testStreams[class])
+	for _, class := range classNames {
+		_, span := obs.StartSpan(ctx, "jecb/phase2/"+class)
+		res, err := p.solveClass(pre, class, pre.Streams[class], testStreams[class])
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: phase 2: class %s: %w", class, err)
 		}
+		cClassesSolved.Inc()
+		if res.ReadOnly {
+			cClassesRO.Inc()
+		}
+		if res.NonPartitionable {
+			cClassesNP.Inc()
+		}
+		cTotalSols.Add(int64(len(res.Total)))
+		cPartialSols.Add(int64(len(res.Partial)))
 		out[class] = res
 	}
 	return out, nil
@@ -145,6 +165,7 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 	// co-accessed root values, and keep it only if it beats both hash and
 	// range mappings on unseen data.
 	if !p.opts.DisableMinCutFallback {
+		cMinCutFall.Inc()
 		best, err := p.minCutSolution(class, trees, stream, testStream)
 		if err != nil {
 			return nil, err

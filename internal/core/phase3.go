@@ -82,6 +82,7 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 		}
 		for _, sol := range combos {
 			rep.CombosEvaluated++
+			cCombosEval.Inc()
 			r, err := eval.Evaluate(p.in.DB, sol, p.in.Train)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: phase 3: %w", err)
@@ -90,6 +91,8 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 			if best == nil || cost < bestCost {
 				best, bestCost = sol, cost
 				rep.ChosenAttribute = attr
+				cBestImprove.Inc()
+				gBestCost.Set(cost)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -268,7 +269,7 @@ func TestPhase2OnChainWorld(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := p.phase2(pre)
+	classes, err := p.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestMToNClassYieldsPartials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := p.phase2(pre)
+	classes, err := p.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestMToNKeepAllTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := p.phase2(pre)
+	classes, err := p.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestMToNKeepAllTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mClasses, err := merged.phase2(pre)
+	mClasses, err := merged.phase2(context.Background(), pre)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,8 +15,18 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/value"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference"). Insert/scan
+// counters are cached in package vars because the benchmark loaders and
+// workload drivers sit on them in tight loops.
+var (
+	cRowsInserted = obs.Default.Counter("db.rows_inserted")
+	cTableScans   = obs.Default.Counter("db.table_scans")
+	cSecIdxBuilds = obs.Default.Counter("db.secondary_index_builds")
 )
 
 // DB is an in-memory database instance conforming to a schema.
@@ -116,6 +126,7 @@ func (t *Table) Insert(row value.Tuple) (value.Key, error) {
 	}
 	t.pk[k] = slot
 	t.indexInsert(slot, row)
+	cRowsInserted.Inc()
 	return k, nil
 }
 
@@ -202,6 +213,7 @@ func (t *Table) GetAny(k value.Key) (value.Tuple, bool) {
 // Scan calls fn for every live row with its primary key. fn returning
 // false stops the scan.
 func (t *Table) Scan(fn func(k value.Key, row value.Tuple) bool) {
+	cTableScans.Inc()
 	for k, slot := range t.pk {
 		if !fn(k, t.rows[slot]) {
 			return
@@ -262,6 +274,7 @@ func (t *Table) secondaryIndex(col string) map[value.Value][]int {
 		}
 	}
 	t.sec[col] = idx
+	cSecIdxBuilds.Inc()
 	return idx
 }
 

@@ -3,8 +3,18 @@ package db
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/value"
+)
+
+// Path-evaluation metrics, cached in package vars: Eval is the single
+// hottest call in the evaluator (once per access per trace transaction).
+var (
+	cPathEvals      = obs.Default.Counter("db.path_evals")
+	cPathCacheHits  = obs.Default.Counter("db.path_cache_hits")
+	cPathCacheMiss  = obs.Default.Counter("db.path_cache_misses")
+	cPathEvalsBuilt = obs.Default.Counter("db.path_evaluators_built")
 )
 
 // EvalPathFromRow follows a join path starting from a row of the path's
@@ -99,6 +109,7 @@ type cachedVal struct {
 // NewPathEval builds a memoizing evaluator for one path. The path should
 // already be validated against the database's schema.
 func NewPathEval(d *DB, p schema.JoinPath) *PathEval {
+	cPathEvalsBuilt.Inc()
 	return &PathEval{db: d, path: p, cache: make(map[value.Key]cachedVal)}
 }
 
@@ -107,9 +118,12 @@ func (e *PathEval) Path() schema.JoinPath { return e.path }
 
 // Eval maps a source-table primary key to the destination attribute value.
 func (e *PathEval) Eval(srcKey value.Key) (value.Value, bool) {
+	cPathEvals.Inc()
 	if c, hit := e.cache[srcKey]; hit {
+		cPathCacheHits.Inc()
 		return c.v, c.ok
 	}
+	cPathCacheMiss.Inc()
 	v, ok, err := e.db.EvalPath(e.path, srcKey)
 	if err != nil {
 		// Structural errors mean the path does not match the schema; the

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package eval
+
+import "time"
+
+// processCPUTime is unavailable on this platform; Resources falls back
+// to wall time.
+func processCPUTime() (time.Duration, bool) { return 0, false }

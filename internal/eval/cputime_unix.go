@@ -1,0 +1,20 @@
+//go:build unix
+
+package eval
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative user+system CPU time
+// via getrusage. The second result is false when the syscall fails.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user + sys, true
+}

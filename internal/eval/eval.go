@@ -11,8 +11,17 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/trace"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cEvaluations = obs.Default.Counter("eval.evaluations")
+	cTxnsScored  = obs.Default.Counter("eval.txns_scored")
+	cTxnsDist    = obs.Default.Counter("eval.txns_distributed")
+	cAssigners   = obs.Default.Counter("eval.assigners_built")
 )
 
 // ClassResult aggregates cost for one transaction class.
@@ -95,6 +104,7 @@ func NewAssigner(d *db.DB, sol *partition.Solution) (*Assigner, error) {
 			a.evals[name] = db.NewPathEval(d, ts.Path)
 		}
 	}
+	cAssigners.Inc()
 	return a, nil
 }
 
@@ -191,5 +201,8 @@ func (a *Assigner) Evaluate(tr *trace.Trace) *Result {
 			r.TouchSum += touched
 		}
 	}
+	cEvaluations.Inc()
+	cTxnsScored.Add(int64(r.Total))
+	cTxnsDist.Add(int64(r.Distributed))
 	return r
 }

@@ -167,9 +167,13 @@ func TPCCScaling(warehouses int, coverages []float64, partitions []int, seed int
 
 // ResourceRow is one row of Table 1/2.
 type ResourceRow struct {
-	Approach   string
-	RAMMB      float64
+	Approach string
+	RAMMB    float64
+	// CPUSeconds is the OS-reported process CPU time of the run where the
+	// platform provides it, else wall time (see eval.Resources.CPUSeconds).
 	CPUSeconds float64
+	// WallSeconds is the elapsed wall-clock time of the run.
+	WallSeconds float64
 }
 
 // TrainSize names one Schism training-set size for the resource tables
@@ -210,9 +214,10 @@ func TPCCResources(warehouses int, sizes []TrainSize, k int, seed int64) ([]Reso
 			return nil, err
 		}
 		rows = append(rows, ResourceRow{
-			Approach:   "schism " + s.Label,
-			RAMMB:      res.AllocMB(),
-			CPUSeconds: res.CPU.Seconds(),
+			Approach:    "schism " + s.Label,
+			RAMMB:       res.AllocMB(),
+			CPUSeconds:  res.CPUSeconds(),
+			WallSeconds: res.Wall.Seconds(),
 		})
 	}
 	// JECB's trace requirement does not grow with the database: a fixed
@@ -232,7 +237,10 @@ func TPCCResources(warehouses int, sizes []TrainSize, k int, seed int64) ([]Reso
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, ResourceRow{Approach: "JECB", RAMMB: res.AllocMB(), CPUSeconds: res.CPU.Seconds()})
+	rows = append(rows, ResourceRow{
+		Approach: "JECB", RAMMB: res.AllocMB(),
+		CPUSeconds: res.CPUSeconds(), WallSeconds: res.Wall.Seconds(),
+	})
 	return rows, nil
 }
 

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Graph is an undirected weighted graph with weighted vertices.
@@ -168,6 +170,8 @@ func Partition(g *Graph, k int, opts Options) ([]int, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("graphpart: k = %d", k)
 	}
+	obs.Inc("graphpart.partitions")
+	obs.Observe("graphpart.graph_vertices", float64(g.Len()))
 	opts = opts.withDefaults()
 	n := g.Len()
 	parts := make([]int, n)
@@ -529,6 +533,7 @@ func refine(g *Graph, parts []int, k int, opts Options) {
 	weights := PartWeights(g, parts, k)
 	maxW := g.TotalVertexWeight() / float64(k) * opts.Balance
 	for pass := 0; pass < opts.RefinePasses; pass++ {
+		obs.Inc("graphpart.refine_passes")
 		moved := 0
 		for u := 0; u < g.Len(); u++ {
 			if g.Degree(u) == 0 {

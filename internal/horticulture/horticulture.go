@@ -11,6 +11,7 @@
 package horticulture
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,9 +19,20 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schema"
 	"repro/internal/trace"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference"). costEvals is
+// cached in a package var: the LNS calls costOf in its inner loop.
+var (
+	cSearches  = obs.Default.Counter("horticulture.searches")
+	cRestarts  = obs.Default.Counter("horticulture.restarts")
+	cRounds    = obs.Default.Counter("horticulture.rounds")
+	cCostEvals = obs.Default.Counter("horticulture.cost_evals")
+	gHortBest  = obs.Default.Gauge("horticulture.best_cost")
 )
 
 // Options configures the search.
@@ -82,6 +94,12 @@ type design map[string]string
 // Search runs the large-neighborhood search and returns the best design
 // found as a partitioning solution.
 func Search(in Input, opts Options) (*partition.Solution, error) {
+	return SearchContext(context.Background(), in, opts)
+}
+
+// SearchContext is Search with context-threaded phase tracing: one span
+// horticulture/restart per LNS restart when ctx carries an obs.Trace.
+func SearchContext(ctx context.Context, in Input, opts Options) (*partition.Solution, error) {
 	if in.DB == nil || in.Train == nil || in.Train.Len() == 0 {
 		return nil, fmt.Errorf("horticulture: missing database or empty trace")
 	}
@@ -89,6 +107,7 @@ func Search(in Input, opts Options) (*partition.Solution, error) {
 		return nil, fmt.Errorf("horticulture: k = %d", opts.K)
 	}
 	opts = opts.withDefaults()
+	cSearches.Inc()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	stats := in.Train.Stats()
@@ -131,6 +150,8 @@ func Search(in Input, opts Options) (*partition.Solution, error) {
 	bestCost := costOf(in.DB, best, replicated, sample, opts)
 
 	for restart := 0; restart < opts.Restarts; restart++ {
+		cRestarts.Inc()
+		_, sRestart := obs.StartSpan(ctx, "horticulture/restart")
 		cur := design{}
 		for _, tbl := range tables {
 			cur[tbl] = randomChoice(in.DB.Schema().Table(tbl), rng)
@@ -142,6 +163,7 @@ func Search(in Input, opts Options) (*partition.Solution, error) {
 		}
 		curCost := costOf(in.DB, cur, replicated, sample, opts)
 		for round := 0; round < opts.Rounds; round++ {
+			cRounds.Inc()
 			// Relax a small neighborhood of tables and greedily re-pick
 			// each one's best option with the rest fixed.
 			relax := pickN(tables, opts.Neighborhood, rng)
@@ -174,7 +196,9 @@ func Search(in Input, opts Options) (*partition.Solution, error) {
 				break
 			}
 		}
+		sRestart.End()
 	}
+	gHortBest.Set(bestCost)
 	return toSolution(in.DB.Schema(), best, replicated, opts.K), nil
 }
 
@@ -239,6 +263,7 @@ func pkToColumn(t *schema.Table, col string) schema.JoinPath {
 // by how many partitions they touch, plus a load-skew penalty — the shape
 // of Horticulture's skew-aware cost model.
 func costOf(d *db.DB, dz design, replicated map[string]bool, sample *trace.Trace, opts Options) float64 {
+	cCostEvals.Inc()
 	sol := toSolution(d.Schema(), dz, replicated, opts.K)
 	a, err := eval.NewAssigner(d, sol)
 	if err != nil {

@@ -11,8 +11,18 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cGraphsBuilt = obs.Default.Counter("joingraph.graphs_built")
+	cGraphNodes  = obs.Default.Counter("joingraph.nodes")
+	cGraphHops   = obs.Default.Counter("joingraph.hops")
+	cPathsEnum   = obs.Default.Counter("joingraph.paths_enumerated")
+	cTreesEnum   = obs.Default.Counter("joingraph.trees_enumerated")
 )
 
 // node is a canonical key for a ColumnSet ("T(c1,c2)").
@@ -153,6 +163,13 @@ func Build(a *sqlparse.Analysis, sc *schema.Schema, replicated map[string]bool) 
 	for n := range g.out {
 		sort.Slice(g.out[n], func(i, j int) bool { return g.out[n][i] < g.out[n][j] })
 	}
+	cGraphsBuilt.Inc()
+	cGraphNodes.Add(int64(len(g.nodes)))
+	hops := 0
+	for _, tos := range g.out {
+		hops += len(tos)
+	}
+	cGraphHops.Add(int64(hops))
 	return g
 }
 
@@ -227,6 +244,7 @@ func (g *Graph) PathsTo(table string, root schema.ColumnRef, maxPaths int) []sch
 		}
 	}
 	walk(start, []node{start}, map[node]bool{start: true})
+	cPathsEnum.Add(int64(len(out)))
 	return out
 }
 
@@ -330,7 +348,8 @@ func (g *Graph) TreesForRoot(root schema.ColumnRef, maxTrees int) []*Tree {
 	return g.treesForRoot(root, maxTrees)
 }
 
-func (g *Graph) treesForRoot(root schema.ColumnRef, maxTrees int) []*Tree {
+func (g *Graph) treesForRoot(root schema.ColumnRef, maxTrees int) (trees []*Tree) {
+	defer func() { cTreesEnum.Add(int64(len(trees))) }()
 	perTable := make([][]schema.JoinPath, len(g.Tables))
 	for i, t := range g.Tables {
 		perTable[i] = g.PathsTo(t, root, maxTrees)

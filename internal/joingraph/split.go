@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -35,6 +36,7 @@ func (g *Graph) Split() []*Graph {
 	sort.Slice(out, func(i, j int) bool {
 		return strings.Join(out[i].Tables, "|") < strings.Join(out[j].Tables, "|")
 	})
+	obs.Inc("joingraph.graph_splits")
 	return out
 }
 

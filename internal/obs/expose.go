@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteJSON writes every metric as one JSON object with sorted keys —
+// the same shape expvar's /debug/vars uses for published maps, so the
+// file artifact and the live endpoint agree.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Hand-rolled object so key order is deterministic.
+	bw := &errWriter{w: w}
+	bw.writeString("{\n")
+	for i, k := range keys {
+		b, err := json.Marshal(snap[k])
+		if err != nil {
+			return err
+		}
+		kb, _ := json.Marshal(k)
+		sep := ","
+		if i == len(keys)-1 {
+			sep = ""
+		}
+		bw.writeString(fmt.Sprintf("  %s: %s%s\n", kb, b, sep))
+	}
+	bw.writeString("}\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+// WriteJSONFile writes the registry snapshot to path (0644).
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// promName rewrites a dotted metric name to Prometheus form: dots and
+// slashes become underscores, anything else non-alphanumeric is dropped
+// to '_', and a "jecb_" namespace prefix is applied.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("jecb_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (counters, gauges, and histograms with cumulative buckets).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counterNames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		counterNames = append(counterNames, n)
+	}
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
+	sort.Strings(histNames)
+
+	bw := &errWriter{w: w}
+	for _, n := range counterNames {
+		pn := promName(n) + "_total"
+		bw.writeString(fmt.Sprintf("# TYPE %s counter\n%s %d\n", pn, pn, r.Counter(n).Value()))
+	}
+	for _, n := range gaugeNames {
+		pn := promName(n)
+		bw.writeString(fmt.Sprintf("# TYPE %s gauge\n%s %g\n", pn, pn, r.Gauge(n).Value()))
+	}
+	for _, n := range histNames {
+		pn := promName(n)
+		s := r.Histogram(n).Snapshot()
+		bw.writeString(fmt.Sprintf("# TYPE %s histogram\n", pn))
+		cum := int64(0)
+		for _, b := range s.Buckets {
+			cum += b.Count
+			bw.writeString(fmt.Sprintf("%s_bucket{le=\"%g\"} %d\n", pn, b.UpperBound, cum))
+		}
+		bw.writeString(fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count))
+		bw.writeString(fmt.Sprintf("%s_sum %g\n%s_count %d\n", pn, s.Sum, pn, s.Count))
+	}
+	return bw.err
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the Default registry under the expvar key
+// "jecb" so /debug/vars includes every metric. Safe to call repeatedly.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("jecb", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}
+
+// DebugServer is the opt-in debug HTTP server: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, Prometheus text under
+// /metrics, and the registry JSON under /metricsz.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts a DebugServer for the registry on addr (e.g.
+// "localhost:6060"). It returns once the listener is bound; serving
+// happens on a background goroutine.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

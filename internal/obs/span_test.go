@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	reg := NewRegistry()
+	ctx, tr := WithTraceRegistry(context.Background(), "run", reg)
+	ctx1, s1 := StartSpan(ctx, "load")
+	_, s11 := StartSpan(ctx1, "load/rows")
+	time.Sleep(time.Millisecond)
+	s11.End()
+	s1.End()
+	_, s2 := StartSpan(ctx, "partition")
+	s2.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "run" || len(snap.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", snap)
+	}
+	if snap.Children[0].Name != "load" || snap.Children[1].Name != "partition" {
+		t.Fatalf("children order: %+v", snap.Children)
+	}
+	if len(snap.Children[0].Children) != 1 || snap.Children[0].Children[0].Name != "load/rows" {
+		t.Fatalf("grandchild: %+v", snap.Children[0])
+	}
+	if snap.Children[0].DurationNS < time.Millisecond.Nanoseconds() {
+		t.Fatalf("load duration %dns too small", snap.Children[0].DurationNS)
+	}
+	if snap.DurationNS < snap.Children[0].DurationNS {
+		t.Fatal("root shorter than child")
+	}
+	// Durations mirrored into the registry.
+	if reg.Histogram("span.load.ns").Snapshot().Count != 1 {
+		t.Fatal("span duration not mirrored into registry")
+	}
+	// PhaseNames covers every span once.
+	names := tr.PhaseNames()
+	want := []string{"load", "load/rows", "partition", "run"}
+	if len(names) != len(want) {
+		t.Fatalf("PhaseNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("PhaseNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSpanNoTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("expected nil span without a trace")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should be unchanged")
+	}
+	s.End() // must not panic
+	var nilSpan *Span
+	if nilSpan.Duration() != 0 {
+		t.Fatal("nil span duration")
+	}
+}
+
+func TestSpanDoubleEndAndFinishIdempotent(t *testing.T) {
+	_, tr := WithTraceRegistry(context.Background(), "run", NewRegistry())
+	tr.Finish()
+	d1 := tr.Snapshot().DurationNS
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish()
+	if d2 := tr.Snapshot().DurationNS; d2 != d1 {
+		t.Fatalf("second Finish changed duration: %d -> %d", d1, d2)
+	}
+}
+
+func TestSpanReportAndJSON(t *testing.T) {
+	ctx, tr := WithTraceRegistry(context.Background(), "jecb/run", NewRegistry())
+	_, s := StartSpan(ctx, "jecb/phase1")
+	s.End()
+	tr.Finish()
+	rep := tr.Report()
+	if !strings.Contains(rep, "jecb/run") || !strings.Contains(rep, "  jecb/phase1") {
+		t.Fatalf("report missing spans:\n%s", rep)
+	}
+	if !strings.Contains(rep, "100.0%") {
+		t.Fatalf("report missing root percentage:\n%s", rep)
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap SpanSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "jecb/run" || len(snap.Children) != 1 {
+		t.Fatalf("JSON round-trip: %+v", snap)
+	}
+}
+
+func TestSpanAllocCollection(t *testing.T) {
+	ctx, tr := WithTraceRegistry(context.Background(), "run", NewRegistry())
+	tr.CollectAllocs(true)
+	_, s := StartSpan(ctx, "alloc")
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	_ = sink
+	s.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.Children[0].AllocBytes < 64*4096/2 {
+		t.Fatalf("alloc delta %d implausibly small", snap.Children[0].AllocBytes)
+	}
+}
+
+// TestConcurrentSpans drives sibling spans from multiple goroutines so
+// -race exercises the tree locking.
+func TestConcurrentSpans(t *testing.T) {
+	ctx, tr := WithTraceRegistry(context.Background(), "run", NewRegistry())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				cctx, s := StartSpan(ctx, "worker")
+				_, inner := StartSpan(cctx, "inner")
+				inner.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Children) != 8*50 {
+		t.Fatalf("children = %d, want 400", len(snap.Children))
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.test").Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "jecb_serve_test_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metricsz"); !strings.Contains(out, `"serve.test": 3`) {
+		t.Fatalf("/metricsz missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "jecb") {
+		t.Fatalf("/debug/vars missing registry:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

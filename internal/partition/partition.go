@@ -14,8 +14,19 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/value"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference"). Lookup counters
+// are cached in package vars because Map sits on the router/eval hot path.
+var (
+	cSolutions    = obs.Default.Counter("partition.solutions_created")
+	cTablesPart   = obs.Default.Counter("partition.tables_partitioned")
+	cTablesRepl   = obs.Default.Counter("partition.tables_replicated")
+	cLookupHits   = obs.Default.Counter("partition.lookup_hits")
+	cLookupMisses = obs.Default.Counter("partition.lookup_misses")
 )
 
 // Replicated is the partition id meaning "stored at every partition"
@@ -132,8 +143,10 @@ func NewLookup(k int, table map[value.Value]int, fallback Mapper) LookupMapper {
 // Map implements Mapper.
 func (m LookupMapper) Map(v value.Value) int {
 	if p, ok := m.Table[v]; ok {
+		cLookupHits.Inc()
 		return p
 	}
+	cLookupMisses.Inc()
 	return m.Fallback.Map(v)
 }
 
@@ -156,12 +169,14 @@ type TableSolution struct {
 
 // NewReplicated returns the full-replication solution for a table.
 func NewReplicated(table string) *TableSolution {
+	cTablesRepl.Inc()
 	return &TableSolution{Table: table, Replicate: true}
 }
 
 // NewByPath returns a join-extension solution: partition the table by the
 // destination attribute of the path under the given mapping function.
 func NewByPath(table string, p schema.JoinPath, m Mapper) *TableSolution {
+	cTablesPart.Inc()
 	return &TableSolution{Table: table, Path: p, Mapper: m}
 }
 
@@ -225,6 +240,7 @@ type Solution struct {
 
 // NewSolution returns an empty solution.
 func NewSolution(name string, k int) *Solution {
+	cSolutions.Inc()
 	return &Solution{Name: name, K: k, Tables: make(map[string]*TableSolution)}
 }
 

@@ -13,10 +13,26 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
 	"repro/internal/value"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference"). Route counters are
+// cached in package vars: Route runs once per simulated invocation.
+var (
+	cRoutersBuilt   = obs.Default.Counter("router.routers_built")
+	cPlansBuilt     = obs.Default.Counter("router.plans_built")
+	cBroadcastPlans = obs.Default.Counter("router.broadcast_plans")
+	cLookupsBuilt   = obs.Default.Counter("router.lookup_tables_built")
+	cLookupEntries  = obs.Default.Counter("router.lookup_entries")
+	cRoutes         = obs.Default.Counter("router.routes")
+	cRouteLocal     = obs.Default.Counter("router.route_local")
+	cRouteBroadcast = obs.Default.Counter("router.route_broadcast")
+	cRouteLookupHit = obs.Default.Counter("router.lookup_hits")
+	cRouteLookupMis = obs.Default.Counter("router.lookup_misses")
 )
 
 // Router routes transaction invocations (class name + parameter values)
@@ -72,6 +88,7 @@ func New(d *db.DB, sol *partition.Solution, analyses []*sqlparse.Analysis) (*Rou
 		}
 		r.routes[a.Proc.Name] = route
 	}
+	cRoutersBuilt.Inc()
 	return r, nil
 }
 
@@ -111,7 +128,11 @@ func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
 	}
 	if route.lookup == nil {
 		route.broadcast = true
+		cBroadcastPlans.Inc()
+	} else {
+		cLookupEntries.Add(int64(len(route.lookup)))
 	}
+	cPlansBuilt.Inc()
 	return route, nil
 }
 
@@ -170,6 +191,7 @@ func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, error
 		sort.Ints(ps)
 		out[v] = ps
 	}
+	cLookupsBuilt.Inc()
 	return out, nil
 }
 
@@ -232,17 +254,26 @@ func (r *Router) fwdReach(from, to schema.ColumnRef) bool {
 // result is a single-partition (local) execution; the full partition list
 // means broadcast. Unknown classes and unseen routing values broadcast.
 func (r *Router) Route(class string, params map[string]value.Value) []int {
+	cRoutes.Inc()
 	route, ok := r.routes[class]
 	if !ok || route.broadcast {
+		cRouteBroadcast.Inc()
 		return r.all()
 	}
 	v, ok := params[route.param]
 	if !ok {
+		cRouteBroadcast.Inc()
 		return r.all()
 	}
 	ps, ok := route.lookup[v]
 	if !ok || len(ps) == 0 {
+		cRouteLookupMis.Inc()
+		cRouteBroadcast.Inc()
 		return r.all()
+	}
+	cRouteLookupHit.Inc()
+	if len(ps) == 1 {
+		cRouteLocal.Inc()
 	}
 	return ps
 }

@@ -16,15 +16,26 @@
 package schism
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/db"
 	"repro/internal/graphpart"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schema"
 	"repro/internal/trace"
 	"repro/internal/value"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cSchismRuns   = obs.Default.Counter("schism.runs")
+	cRulesLearned = obs.Default.Counter("schism.rules_learned")
+	gGraphNodes   = obs.Default.Gauge("schism.graph_nodes")
+	gGraphEdges   = obs.Default.Gauge("schism.graph_edges")
+	gEdgeCut      = obs.Default.Gauge("schism.edge_cut")
 )
 
 // Options configures a Schism run.
@@ -74,6 +85,13 @@ type Stats struct {
 
 // Partition runs the full Schism pipeline.
 func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
+	return PartitionContext(context.Background(), in, opts)
+}
+
+// PartitionContext is Partition with context-threaded phase tracing:
+// spans schism/graph, schism/mincut and schism/classify when ctx carries
+// an obs.Trace.
+func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.Solution, *Stats, error) {
 	if in.DB == nil || in.Train == nil || in.Train.Len() == 0 {
 		return nil, nil, fmt.Errorf("schism: missing database or empty trace")
 	}
@@ -81,6 +99,7 @@ func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
 		return nil, nil, fmt.Errorf("schism: k = %d", opts.K)
 	}
 	opts = opts.withDefaults()
+	cSchismRuns.Inc()
 
 	// Framework Phase 1: replicate read-only / read-mostly tables.
 	replicated := map[string]bool{}
@@ -97,6 +116,7 @@ func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
 	}
 
 	// Build the tuple co-access graph over partitioned tables.
+	_, sGraph := obs.StartSpan(ctx, "schism/graph")
 	type tupleID struct {
 		table string
 		key   value.Key
@@ -152,12 +172,19 @@ func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
 		edges += g.Degree(i)
 	}
 	st.GraphEdges = edges / 2
+	sGraph.End()
+	gGraphNodes.Set(float64(st.GraphNodes))
+	gGraphEdges.Set(float64(st.GraphEdges))
 
+	_, sCut := obs.StartSpan(ctx, "schism/mincut")
 	parts, err := graphpart.Partition(g, opts.K, graphpart.Options{Seed: opts.Seed})
 	if err != nil {
+		sCut.End()
 		return nil, nil, err
 	}
 	st.EdgeCut = graphpart.EdgeCut(g, parts)
+	sCut.End()
+	gEdgeCut.Set(st.EdgeCut)
 
 	// Group labeled tuples per table for the classifier.
 	labeled := map[string]map[value.Key]int{}
@@ -170,6 +197,7 @@ func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
 		m[id.key] = parts[i]
 	}
 
+	_, sClassify := obs.StartSpan(ctx, "schism/classify")
 	sol := partition.NewSolution("schism", opts.K)
 	for _, t := range in.DB.Schema().Tables() {
 		if replicated[t.Name] || labeled[t.Name] == nil {
@@ -180,7 +208,9 @@ func Partition(in Input, opts Options) (*partition.Solution, *Stats, error) {
 		sol.Set(ts)
 		st.Columns[t.Name] = col
 		st.RuleCounts[t.Name] = rules
+		cRulesLearned.Add(int64(rules))
 	}
+	sClassify.End()
 	return sol, st, nil
 }
 

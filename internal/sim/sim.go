@@ -21,8 +21,17 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/trace"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cSimRuns  = obs.Default.Counter("sim.runs")
+	cSimTxns  = obs.Default.Counter("sim.txns_replayed")
+	cSimLocal = obs.Default.Counter("sim.txns_local")
+	cSimDist  = obs.Default.Counter("sim.txns_distributed")
 )
 
 // Config sets the cost shape of the simulated cluster.
@@ -107,8 +116,13 @@ func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Resul
 			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.CoordWork
 		}
 	}
+	cSimRuns.Inc()
+	cSimTxns.Add(int64(tr.Len()))
+	cSimLocal.Add(int64(res.Local))
+	cSimDist.Add(int64(res.Distributed))
 	bottleneck := 0.0
 	for _, w := range res.NodeWork {
+		obs.Observe("sim.node_work", w)
 		if w > bottleneck {
 			bottleneck = w
 		}

@@ -5,7 +5,17 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cProcsAnalyzed = obs.Default.Counter("sqlparse.procedures_analyzed")
+	cStmtsAnalyzed = obs.Default.Counter("sqlparse.statements_analyzed")
+	cEquiJoins     = obs.Default.Counter("sqlparse.equijoins")
+	cImplicitJoins = obs.Default.Counter("sqlparse.implicit_joins")
+	cCandidateCols = obs.Default.Counter("sqlparse.candidate_columns")
 )
 
 // Procedure is a stored procedure: a named, parameterized sequence of SQL
@@ -207,6 +217,16 @@ func Analyze(proc *Procedure, sc *schema.Schema) (*Analysis, error) {
 		}
 		return refLess(a.EquiJoins[i].Right, a.EquiJoins[j].Right)
 	})
+
+	cProcsAnalyzed.Inc()
+	cStmtsAnalyzed.Add(int64(len(a.Statements)))
+	cCandidateCols.Add(int64(len(a.CandidateColumns)))
+	cEquiJoins.Add(int64(len(a.EquiJoins)))
+	for _, j := range a.EquiJoins {
+		if j.Implicit {
+			cImplicitJoins.Inc()
+		}
+	}
 	return a, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -43,6 +44,7 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return written, err
 	}
+	obs.Add("trace.txns_written", int64(len(tr.Txns)))
 	return written, nil
 }
 
@@ -54,6 +56,7 @@ func Read(r io.Reader) (*Trace, error) {
 		var jt txnJSON
 		if err := dec.Decode(&jt); err != nil {
 			if err == io.EOF {
+				obs.Add("trace.txns_read", int64(len(tr.Txns)))
 				return tr, nil
 			}
 			return nil, fmt.Errorf("trace: decode: %w", err)

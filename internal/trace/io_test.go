@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// ioSampleTrace builds a trace exercising every serialized field: multiple
+// classes, parameters of each value kind, composite keys, and write flags.
+func ioSampleTrace() *Trace {
+	return &Trace{Txns: []Txn{
+		{
+			ID:    0,
+			Class: "NewOrder",
+			Params: map[string]value.Value{
+				"w_id": value.NewInt(3),
+				"tax":  value.NewFloat(0.0625),
+				"name": value.NewString("ACME, \"quoted\" & spaced"),
+			},
+			Accesses: []Access{
+				{Table: "WAREHOUSE", Key: value.KeyOf([]value.Value{value.NewInt(3)})},
+				{Table: "ORDER_LINE", Key: value.KeyOf([]value.Value{
+					value.NewInt(3), value.NewInt(7), value.NewInt(42),
+				}), Write: true},
+			},
+		},
+		{
+			ID:    1,
+			Class: "Payment",
+			// No params: the omitempty path.
+			Accesses: []Access{
+				{Table: "CUSTOMER", Key: value.KeyOf([]value.Value{
+					value.NewInt(3), value.NewString("BARBARBAR"),
+				}), Write: true},
+			},
+		},
+		{
+			ID:       2,
+			Class:    "StockLevel",
+			Accesses: nil, // access-free transaction
+		},
+	}}
+}
+
+func TestIORoundTripAllFields(t *testing.T) {
+	want := ioSampleTrace()
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("round trip length = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Txns {
+		w, g := &want.Txns[i], &got.Txns[i]
+		if g.ID != w.ID || g.Class != w.Class {
+			t.Errorf("txn %d: got (%d, %q), want (%d, %q)", i, g.ID, g.Class, w.ID, w.Class)
+		}
+		if !reflect.DeepEqual(normalizeParams(g.Params), normalizeParams(w.Params)) {
+			t.Errorf("txn %d params: got %v, want %v", i, g.Params, w.Params)
+		}
+		if len(g.Accesses) != len(w.Accesses) {
+			t.Fatalf("txn %d: %d accesses, want %d", i, len(g.Accesses), len(w.Accesses))
+		}
+		for j := range w.Accesses {
+			wa, ga := w.Accesses[j], g.Accesses[j]
+			if ga.Table != wa.Table || ga.Write != wa.Write || !bytes.Equal([]byte(ga.Key), []byte(wa.Key)) {
+				t.Errorf("txn %d access %d: got %+v, want %+v", i, j, ga, wa)
+			}
+		}
+	}
+}
+
+// normalizeParams maps nil to an empty map so DeepEqual treats a decoded
+// absent-params transaction identically to one written with nil params.
+func normalizeParams(p map[string]value.Value) map[string]value.Value {
+	if p == nil {
+		return map[string]value.Value{}
+	}
+	return p
+}
+
+func TestIOEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := (&Trace{}).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty trace serialized to %d bytes, want 0", buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty trace round trip has %d txns", got.Len())
+	}
+}
+
+func TestIOTruncatedInput(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := ioSampleTrace().WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	// Chop the stream mid-line: the decoder must report an error, not EOF.
+	cut := buf.Len() - buf.Len()/3
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+		t.Fatal("Read of truncated trace succeeded, want error")
+	}
+}
+
+func TestIOGarbageInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("this is not json\n")); err == nil {
+		t.Fatal("Read of garbage input succeeded, want error")
+	}
+	// Valid JSON, wrong shape for a key: text decoding must fail loudly.
+	if _, err := Read(strings.NewReader(`{"id":1,"class":"X","accesses":[{"t":"T","k":["not-a-value-encoding"]}]}` + "\n")); err == nil {
+		t.Fatal("Read of malformed key encoding succeeded, want error")
+	}
+}
