@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments clean
+.PHONY: all build test verify bench bench-export experiments chaos fuzz clean
 
 all: build
 
@@ -34,6 +34,20 @@ bench-export:
 # scales, with the phase trace and a metrics artifact.
 experiments:
 	$(GO) run ./cmd/experiments -run all -quick -trace-report -metrics experiments_obs.json
+
+# chaos runs the failure-degradation experiment (JECB vs Schism vs
+# Horticulture under the builtin crash/loss scenarios) on the synthetic
+# workload, plus one fault-injected pipeline run.
+chaos:
+	$(GO) run ./cmd/experiments -run chaos -quick
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 2000 -chaos -chaos-seed 1 -chaos-scenario rolling
+
+# fuzz gives each fuzz target a short exploration budget beyond the seed
+# corpora that already run in the normal test pass.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/sqlparse/
+	$(GO) test -run='^$$' -fuzz=FuzzTraceRead -fuzztime=20s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/faults/
 
 clean:
 	rm -f BENCH_obs.json experiments_obs.json

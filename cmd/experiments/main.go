@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation all)")
+		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos all)")
 		quick       = flag.Bool("quick", false, "reduced scales (~30s total)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
@@ -106,6 +106,12 @@ func run(ctx context.Context, which string, quick bool, seed int64) error {
 	if want("ablation") {
 		ran = true
 		if err := step("ablation", func() error { return ablation(quick, seed) }); err != nil {
+			return err
+		}
+	}
+	if want("chaos") {
+		ran = true
+		if err := step("chaos", func() error { return chaos(quick, seed) }); err != nil {
 			return err
 		}
 	}
@@ -287,6 +293,33 @@ func ablation(quick bool, seed int64) error {
 	for _, r := range rows {
 		fmt.Printf("| %s | %.1f%% | %d | %d |\n", r.Name, 100*r.Cost, r.Combos, r.Attributes)
 	}
+	return nil
+}
+
+// chaos renders the throughput-degradation-under-failures table: each
+// partitioner's solution replayed under the builtin fault scenarios.
+func chaos(quick bool, seed int64) error {
+	fmt.Print("\n## Chaos — throughput degradation under failure scenarios (k=4, synthetic)\n\n")
+	scale, txns := 400, 4000
+	if quick {
+		scale, txns = 200, 1500
+	}
+	scenarios := []string{"single-crash", "rolling", "flaky-network"}
+	rows, err := experiments.Degradation("synthetic", scenarios, 4, scale, txns, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("| approach | baseline tps | %s |\n", strings.Join(scenarios, " | "))
+	fmt.Printf("|---|---|%s\n", strings.Repeat("---|", len(scenarios)))
+	for _, r := range rows {
+		row := fmt.Sprintf("| %s | %.0f |", r.Approach, r.BaselineTPS)
+		for _, c := range r.Cells {
+			row += fmt.Sprintf(" %.0f tps (-%.0f%%, %.1f%% avail) |",
+				c.Result.EffectiveTPS, c.Result.DegradationPct, c.Result.AvailabilityPct)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\n(cells: effective tps under the scenario, relative degradation, availability)")
 	return nil
 }
 

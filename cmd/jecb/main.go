@@ -10,6 +10,13 @@
 //	-metrics out.json   dump the obs metrics registry as JSON on exit
 //	-trace-report       print the phase span tree (load/trace/partition/...)
 //	-debug-addr :8080   serve /debug/pprof, /debug/vars, /metrics while running
+//
+// Chaos flags (fault-injected replay of the test trace):
+//
+//	-chaos                    enable the chaos-mode cluster simulation
+//	-chaos-seed 1             fault-injection seed (replays are bit-identical per seed)
+//	-chaos-scenario file|name scenario JSON file or builtin name (single-crash,
+//	                          rolling, flaky-network, half-down, none)
 package main
 
 import (
@@ -19,21 +26,31 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/horticulture"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/router"
 	"repro/internal/schism"
+	"repro/internal/sim"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 	_ "repro/internal/workloads/all"
 )
+
+// chaosOpts bundles the fault-injection flags.
+type chaosOpts struct {
+	enabled  bool
+	seed     int64
+	scenario string
+}
 
 func main() {
 	var (
@@ -49,11 +66,16 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
 		traceReport = flag.Bool("trace-report", false, "print the phase span tree")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
+
+		chaos         = flag.Bool("chaos", false, "replay the test trace under fault injection")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed")
+		chaosScenario = flag.String("chaos-scenario", "", "scenario JSON file or builtin name (default single-crash)")
 	)
 	flag.Parse()
 
+	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed,
-		*verbose, *out, *metricsOut, *traceReport, *debugAddr); err != nil {
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
@@ -62,7 +84,7 @@ func main() {
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
 func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64,
-	verbose bool, out, metricsOut string, traceReport bool, debugAddr string) error {
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
 		srv, err := obs.ServeDebug(debugAddr, obs.Default)
@@ -74,7 +96,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 	}
 
 	ctx, tr := obs.WithTrace(context.Background(), "jecb/run")
-	sol, err := run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose)
+	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co)
 	tr.Finish()
 	if err != nil {
 		return err
@@ -103,9 +125,24 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 	return nil
 }
 
-// run executes the pipeline — load, trace, partition, evaluate, route —
-// and returns the computed solution.
-func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool) (*partition.Solution, error) {
+// runRecovered is the panic boundary of the pipeline (see DESIGN.md,
+// "Error-handling policy"): invariant violations deep in the pipeline
+// surface as an error with a stack trace instead of crashing the process
+// past the deferred artifact/metrics writers.
+func runRecovered(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64,
+	seed int64, verbose bool, co chaosOpts) (sol *partition.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = fmt.Errorf("internal error: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co)
+}
+
+// run executes the pipeline — load, trace, partition, evaluate, route,
+// and optionally the chaos replay — and returns the computed solution.
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool, co chaosOpts) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
@@ -199,7 +236,36 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 	if err != nil {
 		return nil, err
 	}
+
+	if co.enabled {
+		if err := chaosStage(ctx, d, sol, test, co); err != nil {
+			return nil, err
+		}
+	}
 	return sol, nil
+}
+
+// chaosStage replays the test trace under a fault scenario and reports
+// availability, abort/retry and degradation metrics. The JSON block is the
+// determinism contract: the same (benchmark, algo, k, seeds, scenario)
+// inputs print byte-identical results.
+func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *trace.Trace, co chaosOpts) error {
+	sc, err := faults.LoadScenario(co.scenario, sol.K)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: scenario %q, seed %d\n", sc.Name, co.seed)
+	res, err := sim.RunChaosContext(ctx, d, sol, test, sim.ChaosConfig{}, sc, co.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + res.String())
+	data, err := json.MarshalIndent(res, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + string(data))
+	return nil
 }
 
 // routeStage builds a router for the solution and routes the test trace's

@@ -12,7 +12,7 @@ import (
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb")
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb", chaosOpts{})
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -24,17 +24,17 @@ func TestRunAllAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false, chaosOpts{}); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false, chaosOpts{}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false, chaosOpts{}); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
@@ -46,7 +46,7 @@ func TestRealMainArtifacts(t *testing.T) {
 	solPath := filepath.Join(dir, "sol.json")
 	metricsPath := filepath.Join(dir, "m.json")
 	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1,
-		false, solPath, metricsPath, true, ""); err != nil {
+		false, solPath, metricsPath, true, "", chaosOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(solPath)
@@ -73,9 +73,47 @@ func TestRealMainArtifacts(t *testing.T) {
 	}
 }
 
+// TestRunChaosStage exercises the -chaos pipeline tail: builtin scenario
+// by name and scenario loaded from a JSON file.
+func TestRunChaosStage(t *testing.T) {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}); err != nil {
+		t.Errorf("builtin scenario: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	scJSON := `{"name":"one-node-blip","crashes":[{"node":0,"start":1,"end":2}],"msg_loss_prob":0.05}`
+	if err := os.WriteFile(path, []byte(scJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+		chaosOpts{enabled: true, seed: 7, scenario: path}); err != nil {
+		t.Errorf("file scenario: %v", err)
+	}
+	// Malformed scenario files surface as errors, not panics.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+		chaosOpts{enabled: true, seed: 7, scenario: bad}); err == nil {
+		t.Error("malformed scenario must error")
+	}
+}
+
+// TestRunRecoveredConvertsPanics pins the panic boundary: an invariant
+// violation inside the pipeline becomes an error with a stack trace.
+func TestRunRecoveredConvertsPanics(t *testing.T) {
+	// k <= 0 reaches partitioner internals that enforce invariants with
+	// panics; the boundary must convert, not crash.
+	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, false, chaosOpts{})
+	if err == nil {
+		t.Error("negative k must error")
+	}
+}
+
 func TestRealMainError(t *testing.T) {
 	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1,
-		false, "", "", false, ""); err == nil {
+		false, "", "", false, "", chaosOpts{}); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

@@ -160,6 +160,40 @@ func TestSyntheticSweepShape(t *testing.T) {
 	}
 }
 
+func TestDegradationShape(t *testing.T) {
+	rows, err := Degradation("synthetic", []string{"none", "single-crash"}, 2, 100, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 2 {
+			t.Fatalf("%s: cells = %+v", r.Approach, r.Cells)
+		}
+		if r.BaselineTPS <= 0 {
+			t.Errorf("%s: baseline = %v", r.Approach, r.BaselineTPS)
+		}
+		none, crash := r.Cells[0].Result, r.Cells[1].Result
+		if none.Aborts != 0 || none.AvailabilityPct != 100 {
+			t.Errorf("%s: none scenario not clean: %+v", r.Approach, none)
+		}
+		// A crash can only hurt: effective throughput must not exceed the
+		// fault-free replay's.
+		if crash.EffectiveTPS > none.EffectiveTPS+1e-9 {
+			t.Errorf("%s: crash tps %.1f exceeds fault-free %.1f",
+				r.Approach, crash.EffectiveTPS, none.EffectiveTPS)
+		}
+	}
+	if _, err := Degradation("synthetic", nil, 2, 100, 600, 1); err == nil {
+		t.Error("empty scenario list must error")
+	}
+	if _, err := Degradation("synthetic", []string{"nope"}, 2, 100, 600, 1); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
 func TestLoadUnknownBenchmark(t *testing.T) {
 	if _, err := load("nope", 0, 10, 0.5, 1); err == nil {
 		t.Error("unknown benchmark must error")

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseScenario decodes a JSON scenario document and validates it against
+// a k-node cluster (k <= 0 skips the range check). The format mirrors the
+// Scenario struct:
+//
+//	{
+//	  "name": "single-crash",
+//	  "crashes": [{"node": 0, "start": 2.0, "end": 4.0}],
+//	  "msg_loss_prob": 0.002,
+//	  "latency_spike_prob": 0.05,
+//	  "latency_spike_sec": 0.02
+//	}
+//
+// Unknown fields are rejected so typos in scripted scenarios fail loudly
+// instead of silently running a different experiment. All errors wrap
+// ErrScenario.
+func ParseScenario(data []byte, k int) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, scenarioErrorf("decode: %v", err)
+	}
+	// Trailing garbage after the document is a malformed file.
+	if dec.More() {
+		return nil, scenarioErrorf("trailing data after scenario document")
+	}
+	if sc.Name == "" {
+		sc.Name = "unnamed"
+	}
+	if err := sc.Validate(k); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario resolves a -chaos-scenario argument: a builtin name
+// (see BuiltinNames) or a path to a JSON scenario file.
+func LoadScenario(arg string, k int) (*Scenario, error) {
+	if arg == "" {
+		return Builtin("single-crash", k)
+	}
+	if sc, err := Builtin(arg, k); err == nil {
+		return sc, nil
+	} else if _, statErr := os.Stat(arg); statErr != nil {
+		// Neither a builtin nor a readable file: report both resolutions.
+		return nil, fmt.Errorf("%w; and not a readable file: %v", err, statErr)
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, scenarioErrorf("read %s: %v", arg, err)
+	}
+	sc, err := ParseScenario(data, k)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", arg, err)
+	}
+	return sc, nil
+}
+
+// MarshalJSON keeps scenario files round-trippable (Scenario serializes
+// with its natural field tags; this is the identity but pins the format
+// in one place for tests).
+func (sc *Scenario) MarshalJSON() ([]byte, error) {
+	type plain Scenario // avoid recursion
+	return json.Marshal((*plain)(sc))
+}

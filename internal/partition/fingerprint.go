@@ -1,0 +1,47 @@
+package partition
+
+// Fingerprints let the routing tier detect that a solution's partition
+// map changed underneath its lookup tables (the router's ErrStaleLookup
+// path) without deep-comparing mapper state: two placements with the same
+// fingerprint route identically for the placement-shape properties the
+// router derives from them (replication flag, join path, mapper family
+// and partition count).
+
+// fnv1a accumulates FNV-1a over s.
+func fnv1a(h uint64, s string) uint64 {
+	const prime64 = 1099511628211
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+const fnvOffset64 = 14695981039346656037
+
+// Fingerprint hashes the placement-shape of one table solution: the
+// table, the replication flag, the join path, and the mapper family and
+// k. Lookup-table contents are intentionally excluded — those change
+// with incremental placement updates that do not invalidate which table
+// the router scans (the router rebuilds value-level entries itself).
+func (ts *TableSolution) Fingerprint() uint64 {
+	h := fnv1a(fnvOffset64, ts.String())
+	if !ts.Replicate && ts.Mapper != nil {
+		h = fnv1a(h, ts.Mapper.Name())
+		h ^= uint64(ts.Mapper.K())
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fingerprint hashes the whole solution: K plus every table's
+// fingerprint, order-independently (XOR-combine keyed by table name so
+// map iteration order cannot leak in).
+func (s *Solution) Fingerprint() uint64 {
+	h := fnv1a(fnvOffset64, s.Name)
+	h ^= uint64(s.K) * 0x9e3779b97f4a7c15
+	for name, ts := range s.Tables {
+		h ^= fnv1a(fnv1a(fnvOffset64, name), "=") ^ ts.Fingerprint()
+	}
+	return h
+}

@@ -161,6 +161,12 @@ func unmarshalMapper(mj *mapperJSON) (Mapper, error) {
 	if mj == nil {
 		return nil, fmt.Errorf("missing mapper")
 	}
+	// Mapper constructors treat k <= 0 as a programmer-error invariant and
+	// panic; here k comes from external input, so it must fail as a typed
+	// error instead (DESIGN.md, "Error-handling policy").
+	if mj.K <= 0 {
+		return nil, fmt.Errorf("mapper kind %q: invalid partition count k=%d", mj.Kind, mj.K)
+	}
 	switch mj.Kind {
 	case "hash":
 		return NewHash(mj.K), nil

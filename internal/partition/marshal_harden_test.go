@@ -1,0 +1,38 @@
+package partition
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Malformed solution JSON must fail with an error — never reach the
+// mapper constructors' invariant panics (DESIGN.md, "Error-handling
+// policy").
+func TestUnmarshalMalformedMapperErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"hash k=0", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"hash","k":0}}]}`},
+		{"hash k<0", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"hash","k":-3}}]}`},
+		{"lookup k=0", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"lookup","k":0,"values":["i:1"],"parts":[0]}}]}`},
+		{"interval k=0", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"interval","k":0}}]}`},
+		{"missing mapper", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]]}]}`},
+		{"unknown kind", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"zippy","k":2}}]}`},
+		{"bad path node", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T"]],"mapper":{"kind":"hash","k":2}}]}`},
+		{"lookup arrays mismatch", `{"name":"x","k":2,"tables":[{"table":"T","path":[["T","A"]],"mapper":{"kind":"lookup","k":2,"values":["i:1"],"parts":[]}}]}`},
+	}
+	for _, tc := range cases {
+		var s Solution
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: panicked: %v", tc.name, r)
+				}
+			}()
+			if err := json.Unmarshal([]byte(tc.data), &s); err == nil {
+				t.Errorf("%s: unmarshal accepted malformed input", tc.name)
+			}
+		}()
+	}
+}

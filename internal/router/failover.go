@@ -1,0 +1,249 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// Failure-aware routing: the runtime half of the chaos work. Route (the
+// fast path) assumes a healthy cluster and fresh lookup tables; RouteSafe
+// consumes node-health state and the solution's placement fingerprints,
+// degrades routing instead of silently misrouting, and returns typed
+// errors when no safe route exists.
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cRouteReplica   = obs.Default.Counter("router.route_replica")
+	cRouteDegraded  = obs.Default.Counter("router.route_degraded")
+	cRouteDownErrs  = obs.Default.Counter("router.route_down_errors")
+	cStaleDetected  = obs.Default.Counter("router.stale_detected")
+	cRefreshes      = obs.Default.Counter("router.refreshes")
+	cClassesRebuilt = obs.Default.Counter("router.classes_rebuilt")
+)
+
+// Typed failure-mode errors. Callers match them with errors.Is.
+var (
+	// ErrPartitionDown means the data a routing decision pins to lives
+	// only on unreachable partitions (or a write needs an unreachable
+	// participant), so no safe route exists.
+	ErrPartitionDown = errors.New("router: partition down")
+	// ErrStaleLookup means the solution's partition map changed after the
+	// router's lookup tables were built; routing would consult stale
+	// placements. Call Refresh to rebuild incrementally.
+	ErrStaleLookup = errors.New("router: stale lookup tables")
+)
+
+// Mode classifies how a routing decision was reached.
+type Mode uint8
+
+// The routing decision modes.
+const (
+	// ModeLocal is the healthy single-partition path.
+	ModeLocal Mode = iota
+	// ModeMulti is a healthy multi-partition (but not broadcast) route.
+	ModeMulti
+	// ModeBroadcast sends the invocation to every node.
+	ModeBroadcast
+	// ModeReplica serves a replicated-read class from a healthy node
+	// after its pinned partition went down.
+	ModeReplica
+	// ModeDegraded dropped unreachable nodes from a read's partition set:
+	// the route is safe but may observe partial data until recovery.
+	ModeDegraded
+)
+
+// String returns the lowercase mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeLocal:
+		return "local"
+	case ModeMulti:
+		return "multi"
+	case ModeBroadcast:
+		return "broadcast"
+	case ModeReplica:
+		return "replica"
+	case ModeDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Decision is the outcome of one failure-aware routing request.
+type Decision struct {
+	// Partitions are the nodes the invocation must execute on, ascending.
+	Partitions []int
+	// Mode records how the decision was reached.
+	Mode Mode
+}
+
+// Local reports whether the decision is single-partition.
+func (d Decision) Local() bool { return len(d.Partitions) == 1 }
+
+// Stale reports whether the bound solution's partition map changed after
+// the router's lookup tables were built.
+func (r *Router) Stale() bool {
+	if len(r.sol.Tables) != len(r.tableFP) {
+		return true
+	}
+	for name, ts := range r.sol.Tables {
+		fp, ok := r.tableFP[name]
+		if !ok || fp != ts.Fingerprint() {
+			return true
+		}
+	}
+	return false
+}
+
+// Refresh rebuilds the routing plans invalidated by a partition-map
+// change and re-snapshots the placement fingerprints. Only classes whose
+// lookup depends on a changed table — plus broadcast classes, which may
+// now have a usable routing attribute — are re-planned; untouched plans
+// are kept as built. It returns the rebuilt class names, sorted.
+func (r *Router) Refresh() ([]string, error) {
+	changed := map[string]bool{}
+	for name, ts := range r.sol.Tables {
+		if fp, ok := r.tableFP[name]; !ok || fp != ts.Fingerprint() {
+			changed[name] = true
+		}
+	}
+	for name := range r.tableFP {
+		if r.sol.Table(name) == nil {
+			changed[name] = true
+		}
+	}
+	if len(changed) == 0 {
+		return nil, nil
+	}
+	if err := r.sol.Validate(r.d.Schema()); err != nil {
+		return nil, err
+	}
+	var rebuilt []string
+	for class, route := range r.routes {
+		need := route.broadcast // a new placement may unlock routing
+		for dep := range route.deps {
+			if changed[dep] {
+				need = true
+				break
+			}
+		}
+		// Replica-fallback eligibility also depends on the placement of
+		// every table the class touches.
+		if !need {
+			if a := r.analyses[class]; a != nil {
+				for _, tbl := range a.Tables {
+					if changed[tbl] {
+						need = true
+						break
+					}
+				}
+			}
+		}
+		if !need {
+			continue
+		}
+		a := r.analyses[class]
+		if a == nil {
+			continue
+		}
+		fresh, err := r.plan(a)
+		if err != nil {
+			return nil, err
+		}
+		r.routes[class] = fresh
+		rebuilt = append(rebuilt, class)
+	}
+	r.snapshotFingerprints()
+	sort.Strings(rebuilt)
+	cRefreshes.Inc()
+	cClassesRebuilt.Add(int64(len(rebuilt)))
+	return rebuilt, nil
+}
+
+// RouteSafe routes an invocation under a node-health view. It returns
+// ErrStaleLookup when the solution's partition map changed underneath the
+// lookup tables (call Refresh), and ErrPartitionDown when the required
+// data is only on unreachable nodes. A nil health routes as if every node
+// were up. Fallback ladder when the pinned partition set intersects down
+// nodes:
+//
+//  1. replica: a read-only class over replicated tables runs on any
+//     healthy node;
+//  2. degraded: a read's reachable partitions still serve (partial data);
+//  3. broadcast reads shrink to the reachable nodes;
+//  4. writes never drop participants — they fail with ErrPartitionDown.
+func (r *Router) RouteSafe(class string, params map[string]value.Value, h faults.Health) (Decision, error) {
+	cRoutes.Inc()
+	if h == nil {
+		h = faults.AllUp
+	}
+	if r.Stale() {
+		cStaleDetected.Inc()
+		return Decision{}, fmt.Errorf("class %s: %w (solution %q changed; call Refresh)",
+			class, ErrStaleLookup, r.sol.Name)
+	}
+	route, known := r.routes[class]
+	target, mode := r.all(), ModeBroadcast
+	if known && !route.broadcast {
+		if v, ok := params[route.param]; ok {
+			if ps, ok := route.lookup[v]; ok && len(ps) > 0 {
+				target = ps
+				if len(ps) == 1 {
+					mode = ModeLocal
+				} else {
+					mode = ModeMulti
+				}
+			}
+		}
+	}
+
+	up := make([]int, 0, len(target))
+	for _, p := range target {
+		if !h.Down(p) {
+			up = append(up, p)
+		}
+	}
+	if len(up) == len(target) {
+		// Healthy fast path: everything reachable.
+		return Decision{Partitions: append([]int(nil), target...), Mode: mode}, nil
+	}
+
+	// Unknown classes route conservatively: without the code analysis we
+	// must assume writes, and writes never drop participants.
+	writes := !known || route.writes
+	if writes {
+		cRouteDownErrs.Inc()
+		return Decision{}, fmt.Errorf("class %s (%s route): %d of %d target partitions down: %w",
+			class, mode, len(target)-len(up), len(target), ErrPartitionDown)
+	}
+
+	// Replica fallback: the class reads only replicated tables, so any
+	// healthy node serves it — including when its pinned partition is down.
+	if route.replicaOK {
+		for _, n := range r.all() {
+			if !h.Down(n) {
+				cRouteReplica.Inc()
+				return Decision{Partitions: []int{n}, Mode: ModeReplica}, nil
+			}
+		}
+		cRouteDownErrs.Inc()
+		return Decision{}, fmt.Errorf("class %s: no healthy replica node: %w", class, ErrPartitionDown)
+	}
+
+	// Degraded read: serve from the reachable subset of the pinned
+	// partitions (partial data until recovery). An empty subset means the
+	// data is only on down nodes.
+	if len(up) == 0 {
+		cRouteDownErrs.Inc()
+		return Decision{}, fmt.Errorf("class %s (%s route): all %d target partitions down: %w",
+			class, mode, len(target), ErrPartitionDown)
+	}
+	cRouteDegraded.Inc()
+	return Decision{Partitions: up, Mode: ModeDegraded}, nil
+}

@@ -42,6 +42,13 @@ type Router struct {
 	sol *partition.Solution
 	// routes maps class name to its routing plan.
 	routes map[string]*classRoute
+	// analyses keeps each class's code analysis so stale plans can be
+	// rebuilt incrementally after the solution's partition map changes.
+	analyses map[string]*sqlparse.Analysis
+	// tableFP snapshots each table solution's placement fingerprint at
+	// plan-build time; a divergence from the live solution marks the
+	// lookup tables stale (ErrStaleLookup) until Refresh rebuilds them.
+	tableFP map[string]uint64
 	// fwd is the directed FK-component adjacency used to recognize
 	// attributes that carry the same values as a solution's partitioning
 	// attribute (a filter on the replicated CUSTOMER's C_TAX_ID still
@@ -59,6 +66,16 @@ type classRoute struct {
 	lookup map[value.Value][]int
 	// broadcast is set when no usable routing attribute exists.
 	broadcast bool
+	// deps names the tables whose placement this plan's lookup derives
+	// from; a placement change in any of them invalidates the plan.
+	deps map[string]bool
+	// writes reports whether the class modifies data (degraded routing
+	// must not drop write participants).
+	writes bool
+	// replicaOK is set when the class reads only replicated tables, so
+	// any single healthy node can serve it when its pinned partition is
+	// down.
+	replicaOK bool
 }
 
 // New builds a router. For each class it scans the input-parameter
@@ -71,8 +88,10 @@ func New(d *db.DB, sol *partition.Solution, analyses []*sqlparse.Analysis) (*Rou
 	}
 	r := &Router{
 		d: d, sol: sol,
-		routes: map[string]*classRoute{},
-		fwd:    map[schema.ColumnRef][]schema.ColumnRef{},
+		routes:   map[string]*classRoute{},
+		analyses: map[string]*sqlparse.Analysis{},
+		tableFP:  map[string]uint64{},
+		fwd:      map[schema.ColumnRef][]schema.ColumnRef{},
 	}
 	for _, fk := range d.Schema().ForeignKeys {
 		for i := range fk.Columns {
@@ -87,9 +106,20 @@ func New(d *db.DB, sol *partition.Solution, analyses []*sqlparse.Analysis) (*Rou
 			return nil, err
 		}
 		r.routes[a.Proc.Name] = route
+		r.analyses[a.Proc.Name] = a
 	}
+	r.snapshotFingerprints()
 	cRoutersBuilt.Inc()
 	return r, nil
+}
+
+// snapshotFingerprints records each table placement's fingerprint so
+// Stale can detect partition-map changes.
+func (r *Router) snapshotFingerprints() {
+	r.tableFP = make(map[string]uint64, len(r.sol.Tables))
+	for name, ts := range r.sol.Tables {
+		r.tableFP[name] = ts.Fingerprint()
+	}
 }
 
 // plan picks the routing attribute for one class: among all (parameter,
@@ -98,7 +128,18 @@ func New(d *db.DB, sol *partition.Solution, analyses []*sqlparse.Analysis) (*Rou
 // "compatible and finer than the partitioning attribute" criterion of §3.
 // A candidate no better than broadcasting is rejected.
 func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
-	route := &classRoute{class: a.Proc.Name}
+	route := &classRoute{class: a.Proc.Name, writes: len(a.WriteTables) > 0}
+	// A class that reads only replicated tables can be served by any
+	// single healthy node — the replica-fallback property the degraded
+	// router exploits when a pinned partition is down.
+	route.replicaOK = !route.writes && len(a.Tables) > 0
+	for _, tbl := range a.Tables {
+		ts := r.sol.Table(tbl)
+		if ts == nil || !ts.Replicate {
+			route.replicaOK = false
+			break
+		}
+	}
 	var params []string
 	for p := range a.InputFilters {
 		params = append(params, p)
@@ -107,7 +148,7 @@ func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
 	bestScore := float64(r.sol.K) // broadcast baseline
 	for _, p := range params {
 		for _, col := range a.InputFilters[p] {
-			lookup, err := r.buildLookup(col)
+			lookup, deps, err := r.buildLookup(col)
 			if err != nil {
 				return nil, err
 			}
@@ -123,6 +164,7 @@ func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
 				bestScore = score
 				route.param = p
 				route.lookup = lookup
+				route.deps = deps
 			}
 		}
 	}
@@ -143,13 +185,16 @@ func (r *Router) plan(a *sqlparse.Analysis) (*classRoute, error) {
 // values as a partitioned table's attribute (connected by FK-component
 // chains): the paper's "compatible and finer" criterion — a CUSTOMER
 // filter pins the partition of the customer's accounts even though
-// CUSTOMER itself is replicated. Returns nil when neither applies.
-func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, error) {
+// CUSTOMER itself is replicated. Returns a nil map when neither applies.
+// The second result names the tables whose placement the lookup derives
+// from — the staleness dependencies of any plan built on it.
+func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, map[string]bool, error) {
 	t := r.d.Table(col.Table)
 	ci := t.Meta().ColumnIndex(col.Column)
 	if ci < 0 {
-		return nil, fmt.Errorf("router: %s has no column %s", col.Table, col.Column)
+		return nil, nil, fmt.Errorf("router: %s has no column %s", col.Table, col.Column)
 	}
+	deps := map[string]bool{col.Table: true}
 	ts := r.sol.Table(col.Table)
 	var place func(k value.Key, row value.Tuple) (int, bool)
 	if ts != nil && !ts.Replicate {
@@ -161,12 +206,13 @@ func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, error
 			}
 			return ts.Mapper.Map(v), true
 		}
-	} else if mapper, vi, ok := r.equivalentAttribute(t.Meta()); ok {
+	} else if mapper, vi, srcTable, ok := r.equivalentAttribute(t.Meta()); ok {
+		deps[srcTable] = true
 		place = func(k value.Key, row value.Tuple) (int, bool) {
 			return mapper.Map(row[vi]), true
 		}
 	} else {
-		return nil, nil
+		return nil, nil, nil
 	}
 	sets := map[value.Value]map[int]bool{}
 	t.Scan(func(k value.Key, row value.Tuple) bool {
@@ -192,14 +238,14 @@ func (r *Router) buildLookup(col schema.ColumnRef) (map[value.Value][]int, error
 		out[v] = ps
 	}
 	cLookupsBuilt.Inc()
-	return out, nil
+	return out, deps, nil
 }
 
 // equivalentAttribute finds a column of meta whose values coincide (via
 // directed FK-component chains, in either direction) with some
 // partitioned table's partitioning attribute; it returns that table's
-// mapper and the column index.
-func (r *Router) equivalentAttribute(meta *schema.Table) (partition.Mapper, int, bool) {
+// mapper, the column index, and the partitioned table's name.
+func (r *Router) equivalentAttribute(meta *schema.Table) (partition.Mapper, int, string, bool) {
 	names := make([]string, 0, len(r.sol.Tables))
 	for n := range r.sol.Tables {
 		names = append(names, n)
@@ -217,11 +263,11 @@ func (r *Router) equivalentAttribute(meta *schema.Table) (partition.Mapper, int,
 		for vi, colDecl := range meta.Columns {
 			c := schema.ColumnRef{Table: meta.Name, Column: colDecl.Name}
 			if r.valueEquivalent(c, x) {
-				return us.Mapper, vi, true
+				return us.Mapper, vi, n, true
 			}
 		}
 	}
-	return nil, 0, false
+	return nil, 0, "", false
 }
 
 // valueEquivalent reports whether two attributes carry the same values

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Chaos-mode registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cChaosRuns    = obs.Default.Counter("sim.chaos_runs")
+	cChaosCommit  = obs.Default.Counter("sim.chaos_committed")
+	cChaosAborts  = obs.Default.Counter("sim.chaos_aborts")
+	cChaosRetries = obs.Default.Counter("sim.chaos_retries")
+	cChaosPerm    = obs.Default.Counter("sim.chaos_permanent_failures")
+)
+
+// ChaosConfig extends the analytic cost model with the chaos replay's
+// load shape and retry policy.
+type ChaosConfig struct {
+	Config
+	// ArrivalRateTPS is the offered load: transaction i arrives at
+	// virtual time i/rate. Default: trace length / 8, so a full trace
+	// spans 8 virtual seconds and the builtin scenarios' crash windows
+	// land mid-run.
+	ArrivalRateTPS float64
+	// Retry shapes the capped exponential backoff (defaults per
+	// faults.RetryPolicy.WithDefaults).
+	Retry faults.RetryPolicy
+	// AbortWork is the work units wasted on each reachable participant by
+	// one aborted attempt (the prepare/rollback cost of a 2PC round that
+	// could not complete). Default 0.5.
+	AbortWork float64
+}
+
+func (c ChaosConfig) withDefaults(traceLen int) ChaosConfig {
+	c.Config = c.Config.withDefaults()
+	if c.ArrivalRateTPS <= 0 {
+		c.ArrivalRateTPS = float64(traceLen) / 8
+		if c.ArrivalRateTPS <= 0 {
+			c.ArrivalRateTPS = 1
+		}
+	}
+	c.Retry = c.Retry.WithDefaults()
+	if c.AbortWork <= 0 {
+		c.AbortWork = 0.5
+	}
+	return c
+}
+
+// ChaosResult is the outcome of one chaos replay. All fields are plain
+// data so a (solution, trace, scenario, seed) quadruple marshals to
+// byte-identical JSON across runs — the determinism contract the replay
+// tests pin.
+type ChaosResult struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+
+	// Offered / Committed / PermanentFailures partition the trace:
+	// offered = committed + permanent failures.
+	Offered           int `json:"offered"`
+	Committed         int `json:"committed"`
+	PermanentFailures int `json:"permanent_failures"`
+	// PermanentByClass breaks the permanently-failing transactions down
+	// by transaction class (empty when none fail).
+	PermanentByClass map[string]int `json:"permanent_by_class,omitempty"`
+
+	// Local / Distributed classify committed transactions.
+	Local       int `json:"local"`
+	Distributed int `json:"distributed"`
+
+	// Aborts counts aborted attempts; Retries counts the aborts that were
+	// retried (aborts minus final give-ups).
+	Aborts  int `json:"aborts"`
+	Retries int `json:"retries"`
+
+	// AbortRate is aborts / attempts; AvailabilityPct is
+	// 100·committed/offered.
+	AbortRate       float64 `json:"abort_rate"`
+	AvailabilityPct float64 `json:"availability_pct"`
+
+	// Retry latency quantiles (virtual seconds) over committed
+	// transactions that aborted at least once; zero when none retried.
+	RetryLatencyP50 float64 `json:"retry_latency_p50_sec"`
+	RetryLatencyP99 float64 `json:"retry_latency_p99_sec"`
+
+	// MakespanSec is the virtual time of the last commit or give-up;
+	// EffectiveTPS is committed transactions per virtual second of
+	// max(makespan, bottleneck busy time) — goodput under the scenario.
+	MakespanSec  float64 `json:"makespan_sec"`
+	EffectiveTPS float64 `json:"effective_tps"`
+	// BaselineTPS is the failure-free throughput of the same solution
+	// under the same arrival process and cost shape: offered transactions
+	// over max(arrival span, failure-free bottleneck busy time).
+	// DegradationPct is the relative loss of EffectiveTPS against it.
+	BaselineTPS    float64 `json:"baseline_tps"`
+	DegradationPct float64 `json:"degradation_pct"`
+
+	// NodeWork is committed + wasted work per node; NodeDownSec is each
+	// node's scripted outage within the makespan.
+	NodeWork    []float64 `json:"node_work"`
+	NodeDownSec []float64 `json:"node_down_sec"`
+}
+
+// String renders a one-line summary.
+func (r *ChaosResult) String() string {
+	return fmt.Sprintf("chaos %q seed=%d: %.0f tps effective (%.1f%% of %.0f baseline), "+
+		"%.2f%% available (%d/%d), %d aborts, %d retries, %d permanent, p99 retry %.3fs",
+		r.Scenario, r.Seed, r.EffectiveTPS, 100-r.DegradationPct, r.BaselineTPS,
+		r.AvailabilityPct, r.Committed, r.Offered, r.Aborts, r.Retries,
+		r.PermanentFailures, r.RetryLatencyP99)
+}
+
+// RunChaos replays the trace under the solution against a fault scenario:
+// transaction i arrives at virtual time i/rate; an attempt commits only
+// when every participant is reachable and no coordination message is
+// lost, otherwise it aborts, charges wasted work to the reachable
+// participants, and retries under capped exponential backoff with jitter
+// until the retry policy's attempt budget is exhausted.
+func RunChaos(d *db.DB, sol *partition.Solution, tr *trace.Trace,
+	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
+	return RunChaosContext(context.Background(), d, sol, tr, cfg, sc, seed)
+}
+
+// RunChaosContext is RunChaos under a phase span ("sim/chaos").
+func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
+	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
+	_, span := obs.StartSpan(ctx, "sim/chaos")
+	defer span.End()
+
+	cfg = cfg.withDefaults(tr.Len())
+	a, err := eval.NewAssigner(d, sol)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(sc, sol.K, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Failure-free baseline under the same arrival process and cost
+	// shape: every transaction commits on first attempt, so the run ends
+	// at max(last arrival, bottleneck busy time).
+	base, err := Run(d, sol, tr, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Nodes:    sol.K,
+		Offered:  tr.Len(),
+		NodeWork: make([]float64, sol.K),
+	}
+	if n := tr.Len(); n > 0 {
+		baseBottleneck := 0.0
+		for _, w := range base.NodeWork {
+			if w > baseBottleneck {
+				baseBottleneck = w
+			}
+		}
+		baseElapsed := math.Max(float64(n-1)/cfg.ArrivalRateTPS, baseBottleneck/cfg.NodeCapacity)
+		if baseElapsed > 0 {
+			res.BaselineTPS = float64(n) / baseElapsed
+		}
+	}
+	attempts := 0
+	var retriedLatencies []float64
+
+	for i := range tr.Txns {
+		t := &tr.Txns[i]
+		arrival := float64(i) / cfg.ArrivalRateTPS
+		nodes, coord, distributed := participants(a, t, sol.K, i)
+
+		now := arrival
+		committed := false
+		for attempt := 1; attempt <= cfg.Retry.MaxAttempts; attempt++ {
+			attempts++
+			now += inj.SampleLatency()
+			// Fully-replicated reads (no pinned participant) degrade to any
+			// reachable node instead of their round-robin home.
+			execNodes, execCoord := nodes, coord
+			if len(nodes) == 0 {
+				if up := inj.UpNodes(now); len(up) > 0 {
+					execCoord = up[i%len(up)]
+					execNodes = []int{execCoord}
+				} else {
+					execNodes = []int{coord} // cluster fully down: blocked
+					execCoord = coord
+				}
+			}
+			blocked := false
+			for _, n := range execNodes {
+				if inj.Down(n, now) {
+					blocked = true
+					break
+				}
+			}
+			lost := false
+			if !blocked && distributed {
+				lost = inj.SampleLoss()
+			}
+			if !blocked && !lost {
+				// Commit: charge the analytic cost model's work.
+				chargeCommit(res.NodeWork, execNodes, execCoord, distributed, cfg.Config)
+				res.Committed++
+				if distributed {
+					res.Distributed++
+				} else {
+					res.Local++
+				}
+				latency := now - arrival
+				if attempt > 1 {
+					retriedLatencies = append(retriedLatencies, latency)
+				}
+				if now > res.MakespanSec {
+					res.MakespanSec = now
+				}
+				committed = true
+				break
+			}
+			// Abort: reachable participants waste the prepare/rollback work.
+			res.Aborts++
+			for _, n := range execNodes {
+				if !inj.Down(n, now) {
+					res.NodeWork[n] += cfg.AbortWork
+				}
+			}
+			if attempt == cfg.Retry.MaxAttempts {
+				break
+			}
+			res.Retries++
+			now += cfg.Retry.Backoff(attempt, inj)
+		}
+		if !committed {
+			res.PermanentFailures++
+			if res.PermanentByClass == nil {
+				res.PermanentByClass = map[string]int{}
+			}
+			res.PermanentByClass[t.Class]++
+			if now > res.MakespanSec {
+				res.MakespanSec = now
+			}
+		}
+	}
+
+	if attempts > 0 {
+		res.AbortRate = float64(res.Aborts) / float64(attempts)
+	}
+	if res.Offered > 0 {
+		res.AvailabilityPct = 100 * float64(res.Committed) / float64(res.Offered)
+	}
+	res.RetryLatencyP50 = quantile(retriedLatencies, 0.50)
+	res.RetryLatencyP99 = quantile(retriedLatencies, 0.99)
+	res.NodeDownSec = inj.DownNodeSeconds(res.MakespanSec)
+
+	bottleneck := 0.0
+	for _, w := range res.NodeWork {
+		if w > bottleneck {
+			bottleneck = w
+		}
+	}
+	elapsed := math.Max(res.MakespanSec, bottleneck/cfg.NodeCapacity)
+	if elapsed > 0 {
+		res.EffectiveTPS = float64(res.Committed) / elapsed
+	}
+	if res.BaselineTPS > 0 {
+		res.DegradationPct = 100 * (1 - res.EffectiveTPS/res.BaselineTPS)
+		if res.DegradationPct < 0 {
+			res.DegradationPct = 0
+		}
+	}
+
+	cChaosRuns.Inc()
+	cChaosCommit.Add(int64(res.Committed))
+	cChaosAborts.Add(int64(res.Aborts))
+	cChaosRetries.Add(int64(res.Retries))
+	cChaosPerm.Add(int64(res.PermanentFailures))
+	obs.Set("sim.chaos_abort_rate", res.AbortRate)
+	obs.Set("sim.chaos_availability_pct", res.AvailabilityPct)
+	obs.Set("sim.chaos_effective_tps", res.EffectiveTPS)
+	obs.Set("sim.chaos_degradation_pct", res.DegradationPct)
+	for _, l := range retriedLatencies {
+		obs.Observe("sim.chaos_retry_latency_ms", l*1000)
+	}
+	return res, nil
+}
+
+// participants resolves a transaction's executing nodes under the
+// solution, mirroring Run's classification: replicated-write or
+// unplaceable transactions span every node; multi-partition transactions
+// span their partitions; local transactions run on their coordinator
+// only. A fully-replicated read returns no pinned nodes (any node
+// serves it).
+func participants(a *eval.Assigner, t *trace.Txn, k, txnIndex int) (nodes []int, coord int, distributed bool) {
+	parts, writesReplicated, allPlaced := a.TxnPartitions(t)
+	switch {
+	case writesReplicated || !allPlaced:
+		nodes = make([]int, k)
+		for n := range nodes {
+			nodes[n] = n
+		}
+		return nodes, coordinator(parts, k, txnIndex), true
+	case len(parts) == 0:
+		// Fully-replicated read: no pinned participant.
+		return nil, coordinator(parts, k, txnIndex), false
+	case len(parts) == 1:
+		c := coordinator(parts, k, txnIndex)
+		return []int{c}, c, false
+	default:
+		nodes = make([]int, 0, len(parts))
+		for n := range parts {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		return nodes, coordinator(parts, k, txnIndex), true
+	}
+}
+
+// chargeCommit applies the analytic cost model of Run to one committed
+// attempt.
+func chargeCommit(work []float64, nodes []int, coord int, distributed bool, cfg Config) {
+	if !distributed {
+		work[coord] += cfg.LocalWork
+		return
+	}
+	for _, n := range nodes {
+		work[n] += cfg.ParticipantWork
+	}
+	work[coord] += cfg.CoordWork
+}
+
+// quantile returns the nearest-rank q-quantile of xs (0 when empty). xs
+// is copied and sorted, so callers keep insertion order.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -120,22 +120,40 @@ func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Resul
 	cSimTxns.Add(int64(tr.Len()))
 	cSimLocal.Add(int64(res.Local))
 	cSimDist.Add(int64(res.Distributed))
-	bottleneck := 0.0
 	for _, w := range res.NodeWork {
 		obs.Observe("sim.node_work", w)
+	}
+	finalize(res, tr.Len(), cfg)
+	return res, nil
+}
+
+// finalize derives throughput and speedup from the accumulated node work.
+// The single-node baseline executes every transaction locally, so its
+// throughput simplifies to NodeCapacity/LocalWork independent of trace
+// length (n transactions at LocalWork units each take
+// n·LocalWork/NodeCapacity seconds). A zero bottleneck means no node
+// accumulated work: an empty trace has no throughput or speedup to speak
+// of, while a non-empty trace of zero-cost transactions is neither faster
+// nor slower than a single node running the same free transactions, so
+// Speedup pins to 1.
+func finalize(res *Result, traceLen int, cfg Config) {
+	bottleneck := 0.0
+	for _, w := range res.NodeWork {
 		if w > bottleneck {
 			bottleneck = w
 		}
 	}
 	if bottleneck == 0 {
 		res.ThroughputTPS = 0
-		res.Speedup = 0
-		return res, nil
+		if traceLen > 0 {
+			res.Speedup = 1
+		} else {
+			res.Speedup = 0
+		}
+		return
 	}
-	res.ThroughputTPS = float64(tr.Len()) / (bottleneck / cfg.NodeCapacity)
-	singleNode := float64(tr.Len()) / (float64(tr.Len()) * cfg.LocalWork / cfg.NodeCapacity)
-	res.Speedup = res.ThroughputTPS / singleNode
-	return res, nil
+	res.ThroughputTPS = float64(traceLen) / (bottleneck / cfg.NodeCapacity)
+	res.Speedup = res.ThroughputTPS / (cfg.NodeCapacity / cfg.LocalWork)
 }
 
 // coordinator picks a deterministic coordinator: the lowest participating

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// mustPanicWith runs f and asserts its panic value unwraps to sentinel.
+func mustPanicWith(t *testing.T, sentinel error, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, sentinel) {
+			t.Fatalf("panic value %v does not unwrap to %v", r, sentinel)
+		}
+	}()
+	f()
+}
+
+// Collector misuse panics carry ErrCollectorMisuse so the pipeline
+// boundary can classify what it recovered.
+func TestCollectorMisusePanicsAreTyped(t *testing.T) {
+	mustPanicWith(t, ErrCollectorMisuse, func() {
+		c := NewCollector()
+		c.Begin("A", nil)
+		c.Begin("B", nil) // nested Begin
+	})
+	mustPanicWith(t, ErrCollectorMisuse, func() {
+		NewCollector().Read("T", value.KeyOf([]value.Value{value.NewInt(1)}))
+	})
+	mustPanicWith(t, ErrCollectorMisuse, func() {
+		NewCollector().Commit()
+	})
+	mustPanicWith(t, ErrCollectorMisuse, func() {
+		NewCollector().Abort()
+	})
+}

@@ -6,12 +6,21 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/value"
 )
+
+// ErrCollectorMisuse is the typed value the Collector's invariant panics
+// wrap: Begin with an open transaction, or access/Commit/Abort without
+// one. These are programmer errors in workload drivers — not external
+// input — so they panic rather than return, but the panic value unwraps to
+// this sentinel (errors.Is) so the pipeline boundary in cmd/jecb can
+// classify what it recovered (DESIGN.md, "Error-handling policy").
+var ErrCollectorMisuse = errors.New("trace: collector misuse")
 
 // Access is one tuple touched by a transaction, identified by table and
 // primary key. Write marks updates, inserts, and deletes.
@@ -208,7 +217,7 @@ func NewCollector() *Collector { return &Collector{} }
 // procedure's input arguments (copied).
 func (c *Collector) Begin(class string, params map[string]value.Value) {
 	if c.cur != nil {
-		panic("trace: Begin with open transaction")
+		panic(fmt.Errorf("%w: Begin with open transaction", ErrCollectorMisuse))
 	}
 	var p map[string]value.Value
 	if len(params) > 0 {
@@ -230,7 +239,7 @@ func (c *Collector) Write(table string, key value.Key) { c.access(table, key, tr
 
 func (c *Collector) access(table string, key value.Key, write bool) {
 	if c.cur == nil {
-		panic("trace: access outside transaction")
+		panic(fmt.Errorf("%w: access outside transaction", ErrCollectorMisuse))
 	}
 	probe := Access{Table: table, Key: key}
 	if i, seen := c.curIdx[probe]; seen {
@@ -246,7 +255,7 @@ func (c *Collector) access(table string, key value.Key, write bool) {
 // Commit closes the open transaction and appends it to the trace.
 func (c *Collector) Commit() {
 	if c.cur == nil {
-		panic("trace: Commit without open transaction")
+		panic(fmt.Errorf("%w: Commit without open transaction", ErrCollectorMisuse))
 	}
 	c.done = append(c.done, *c.cur)
 	c.cur, c.curIdx = nil, nil
@@ -255,7 +264,7 @@ func (c *Collector) Commit() {
 // Abort discards the open transaction.
 func (c *Collector) Abort() {
 	if c.cur == nil {
-		panic("trace: Abort without open transaction")
+		panic(fmt.Errorf("%w: Abort without open transaction", ErrCollectorMisuse))
 	}
 	c.cur, c.curIdx = nil, nil
 	c.nextID--

@@ -1,0 +1,29 @@
+package value
+
+import (
+	"errors"
+	"testing"
+)
+
+// The checked As* accessors return typed errors where the panicking forms
+// enforce programmer invariants (DESIGN.md, "Error-handling policy").
+func TestCheckedAccessors(t *testing.T) {
+	if n, err := NewInt(7).AsInt(); err != nil || n != 7 {
+		t.Errorf("AsInt = %v, %v", n, err)
+	}
+	if f, err := NewFloat(1.5).AsFloat(); err != nil || f != 1.5 {
+		t.Errorf("AsFloat = %v, %v", f, err)
+	}
+	if s, err := NewString("x").AsStr(); err != nil || s != "x" {
+		t.Errorf("AsStr = %v, %v", s, err)
+	}
+	if _, err := NewString("x").AsInt(); !errors.Is(err, ErrKind) {
+		t.Errorf("AsInt on string: err = %v, want ErrKind", err)
+	}
+	if _, err := NewInt(1).AsFloat(); !errors.Is(err, ErrKind) {
+		t.Errorf("AsFloat on int: err = %v, want ErrKind", err)
+	}
+	if _, err := NewNull().AsStr(); !errors.Is(err, ErrKind) {
+		t.Errorf("AsStr on null: err = %v, want ErrKind", err)
+	}
+}
