@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos fuzz clean
+.PHONY: all build test verify bench bench-export experiments chaos drift fuzz clean
 
 all: build
 
@@ -26,9 +26,11 @@ bench:
 	$(GO) test -bench='PathEval|Evaluate|GraphPartition|ValueHash' -benchmem -run=^$$ .
 
 # bench-export writes BENCH_obs.json, the machine-readable perf
-# trajectory (ns/op, allocs/op, B/op per micro-benchmark).
+# trajectory (ns/op, allocs/op, B/op per micro-benchmark), and
+# BENCH_drift.json, the drift-adaptation quality record (post-drift
+# distributed fractions per controller, movement, swaps).
 bench-export:
-	BENCH_EXPORT=1 $(GO) test -run TestBenchExport -v .
+	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport' -v .
 
 # experiments regenerates the paper's tables and figures at reduced
 # scales, with the phase trace and a metrics artifact.
@@ -42,6 +44,13 @@ chaos:
 	$(GO) run ./cmd/experiments -run chaos -quick
 	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 2000 -chaos -chaos-seed 1 -chaos-scenario rolling
 
+# drift runs the workload-drift adaptation experiment (static vs
+# adaptive vs oracle across the builtin drift scenarios) on the
+# synthetic workload, plus one adaptive pipeline run.
+drift:
+	$(GO) run ./cmd/experiments -run drift -quick
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 2000 -drift mix-flip -drift-budget 1200 -drift-window 400
+
 # fuzz gives each fuzz target a short exploration budget beyond the seed
 # corpora that already run in the normal test pass.
 fuzz:
@@ -50,4 +59,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/faults/
 
 clean:
-	rm -f BENCH_obs.json experiments_obs.json
+	rm -f BENCH_obs.json BENCH_drift.json experiments_obs.json

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos all)")
+		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos drift all)")
 		quick       = flag.Bool("quick", false, "reduced scales (~30s total)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
@@ -112,6 +112,12 @@ func run(ctx context.Context, which string, quick bool, seed int64) error {
 	if want("chaos") {
 		ran = true
 		if err := step("chaos", func() error { return chaos(quick, seed) }); err != nil {
+			return err
+		}
+	}
+	if want("drift") {
+		ran = true
+		if err := step("drift", func() error { return driftAdaptation(quick, seed) }); err != nil {
 			return err
 		}
 	}
@@ -320,6 +326,43 @@ func chaos(quick bool, seed int64) error {
 		fmt.Println(row)
 	}
 	fmt.Println("\n(cells: effective tps under the scenario, relative degradation, availability)")
+	return nil
+}
+
+// driftAdaptation renders the workload-drift table: static vs adaptive vs
+// oracle post-drift distributed fractions per builtin drift scenario. The
+// output is fully deterministic per seed — the CI drift job diffs two
+// runs byte-for-byte.
+func driftAdaptation(quick bool, seed int64) error {
+	scale, txns, window, budget := 200, 4000, 500, 1500
+	if quick {
+		scale, txns, window, budget = 120, 2000, 400, 900
+	}
+	fmt.Printf("\n## Drift — workload-drift adaptation (k=4, synthetic, window=%d, budget=%d)\n\n", window, budget)
+	rows, err := experiments.Drift(nil, 4, scale, txns, window, budget, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("| scenario | static post-drift | adaptive post-drift | oracle post-drift | moved tuples | deferred | swaps | dual-routed |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Printf("| %s | %.1f%% | %.1f%% | %.1f%% | %d | %d | %d | %d |\n",
+			r.Scenario, 100*r.Static.PostDistFrac, 100*r.Adaptive.PostDistFrac,
+			100*r.Oracle.PostDistFrac, r.Adaptive.MovedTuples, r.Adaptive.DeferredTuples,
+			r.Adaptive.Swaps, r.Adaptive.DualRouted)
+	}
+	fmt.Println("\nper-scenario adaptation events (adaptive controller):")
+	for _, r := range rows {
+		for _, ev := range r.Adaptive.Events {
+			kind := "migrate"
+			if ev.Warm {
+				kind = "warm-accept"
+			}
+			fmt.Printf("  %-14s window %d: score %.2f [%s] %s: %d moved / %d deferred, window dist %.1f%% -> %.1f%%\n",
+				r.Scenario, ev.Window, ev.Score, strings.Join(ev.Reasons, "+"), kind,
+				ev.MovedTuples, ev.DeferredTuples, 100*ev.CostBefore, 100*ev.CostAfter)
+		}
+	}
 	return nil
 }
 

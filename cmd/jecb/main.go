@@ -17,6 +17,13 @@
 //	-chaos-seed 1             fault-injection seed (replays are bit-identical per seed)
 //	-chaos-scenario file|name scenario JSON file or builtin name (single-crash,
 //	                          rolling, flaky-network, half-down, none)
+//
+// Drift flags (workload-drift adaptation replay; synthetic benchmark only):
+//
+//	-drift mix-flip      replay a drift scenario (mix-flip, skew-rotate,
+//	                     hotspot-birth) under static, adaptive and oracle control
+//	-drift-budget 1500   total moved-tuple budget for migrations (<=0 unbounded)
+//	-drift-window 500    detection window in transactions
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/drift"
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/horticulture"
@@ -52,6 +60,13 @@ type chaosOpts struct {
 	scenario string
 }
 
+// driftOpts bundles the workload-drift flags.
+type driftOpts struct {
+	scenario string
+	budget   int
+	window   int
+}
+
 func main() {
 	var (
 		benchmark   = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
@@ -70,12 +85,17 @@ func main() {
 		chaos         = flag.Bool("chaos", false, "replay the test trace under fault injection")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed")
 		chaosScenario = flag.String("chaos-scenario", "", "scenario JSON file or builtin name (default single-crash)")
+
+		driftScenario = flag.String("drift", "", "drift scenario to replay with the adaptation loop ("+strings.Join(drift.BuiltinNames(), ", ")+"); synthetic benchmark only")
+		driftBudget   = flag.Int("drift-budget", 1500, "total moved-tuple budget for drift migrations (<=0 = unbounded)")
+		driftWindow   = flag.Int("drift-window", 500, "drift detection window in transactions")
 	)
 	flag.Parse()
 
 	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario}
+	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed,
-		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co); err != nil {
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
@@ -84,7 +104,7 @@ func main() {
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
 func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64,
-	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts) error {
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
 		srv, err := obs.ServeDebug(debugAddr, obs.Default)
@@ -96,7 +116,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 	}
 
 	ctx, tr := obs.WithTrace(context.Background(), "jecb/run")
-	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co)
+	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co, do)
 	tr.Finish()
 	if err != nil {
 		return err
@@ -130,19 +150,19 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 // surface as an error with a stack trace instead of crashing the process
 // past the deferred artifact/metrics writers.
 func runRecovered(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64,
-	seed int64, verbose bool, co chaosOpts) (sol *partition.Solution, err error) {
+	seed int64, verbose bool, co chaosOpts, do driftOpts) (sol *partition.Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
 			err = fmt.Errorf("internal error: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co)
+	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co, do)
 }
 
 // run executes the pipeline — load, trace, partition, evaluate, route,
 // and optionally the chaos replay — and returns the computed solution.
-func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool, co chaosOpts) (*partition.Solution, error) {
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool, co chaosOpts, do driftOpts) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
@@ -242,7 +262,68 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 			return nil, err
 		}
 	}
+	if do.scenario != "" {
+		if err := driftStage(ctx, benchmark, d, b, k, txns, seed, do); err != nil {
+			return nil, err
+		}
+	}
 	return sol, nil
+}
+
+// driftStage replays a drifting workload on the loaded (synthetic)
+// database under the three drift controllers — static, adaptive, oracle —
+// and prints their results plus the adaptive controller's JSON block (the
+// determinism contract: same flags, byte-identical output).
+func driftStage(ctx context.Context, benchmark string, d *db.DB, b workloads.Benchmark,
+	k, txns int, seed int64, do driftOpts) error {
+	if benchmark != "synthetic" {
+		return fmt.Errorf("-drift requires -benchmark synthetic (the drift scenarios shape the synthetic workload)")
+	}
+	sc, err := drift.BuiltinScenario(do.scenario)
+	if err != nil {
+		return err
+	}
+	_, span := obs.StartSpan(ctx, "drift/"+sc.Name)
+	defer span.End()
+
+	tr, driftAt := sc.GenerateTrace(d, txns, seed+1)
+	fmt.Printf("drift: scenario %q, %d transactions, drift at %d, window %d, budget %d\n",
+		sc.Name, tr.Len(), driftAt, do.window, do.budget)
+	procs := workloads.Procedures(b)
+	opts := core.Options{K: k, Seed: seed}
+	sol0, _, err := core.Partition(core.Input{DB: d, Procedures: procs, Train: tr.Head(driftAt)}, opts)
+	if err != nil {
+		return fmt.Errorf("drift: initial solution: %w", err)
+	}
+	repart := func(win *trace.Trace, prev *partition.Solution) (*partition.Solution, error) {
+		res, err := core.Repartition(core.Input{DB: d, Procedures: procs, Train: win}, opts, prev, 0)
+		if err != nil {
+			return nil, err
+		}
+		return res.Solution, nil
+	}
+	cfg := sim.DriftConfig{WindowSize: do.window, Budget: do.budget, DriftAt: driftAt}
+	st, err := sim.RunDriftStatic(d, sol0, tr, cfg)
+	if err != nil {
+		return err
+	}
+	ad, err := sim.RunDriftAdaptive(d, sol0, tr, cfg, repart)
+	if err != nil {
+		return err
+	}
+	or, err := sim.RunDriftOracle(d, sol0, tr, cfg, repart)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + st.String())
+	fmt.Println("  " + ad.String())
+	fmt.Println("  " + or.String())
+	data, err := json.MarshalIndent(ad, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + string(data))
+	return nil
 }
 
 // chaosStage replays the test trace under a fault scenario and reports

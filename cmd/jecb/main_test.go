@@ -12,7 +12,7 @@ import (
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb", chaosOpts{})
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb", chaosOpts{}, driftOpts{})
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -24,17 +24,17 @@ func TestRunAllAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false, chaosOpts{}); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false, chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false, chaosOpts{}); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false, chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false, chaosOpts{}); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false, chaosOpts{}, driftOpts{}); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
@@ -46,7 +46,7 @@ func TestRealMainArtifacts(t *testing.T) {
 	solPath := filepath.Join(dir, "sol.json")
 	metricsPath := filepath.Join(dir, "m.json")
 	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1,
-		false, solPath, metricsPath, true, "", chaosOpts{}); err != nil {
+		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(solPath)
@@ -77,7 +77,7 @@ func TestRealMainArtifacts(t *testing.T) {
 // by name and scenario loaded from a JSON file.
 func TestRunChaosStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
-		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}); err != nil {
 		t.Errorf("builtin scenario: %v", err)
 	}
 	path := filepath.Join(t.TempDir(), "sc.json")
@@ -86,7 +86,7 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
-		chaosOpts{enabled: true, seed: 7, scenario: path}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}); err != nil {
 		t.Errorf("file scenario: %v", err)
 	}
 	// Malformed scenario files surface as errors, not panics.
@@ -95,8 +95,22 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
-		chaosOpts{enabled: true, seed: 7, scenario: bad}); err == nil {
+		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}); err == nil {
 		t.Error("malformed scenario must error")
+	}
+}
+
+// TestRunDriftStage exercises the -drift pipeline tail: the drift
+// replay runs after partitioning, on the same benchmark and seed.
+func TestRunDriftStage(t *testing.T) {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, false,
+		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}); err != nil {
+		t.Errorf("drift stage: %v", err)
+	}
+	// Unknown scenarios surface as errors, not panics.
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, false,
+		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}); err == nil {
+		t.Error("unknown drift scenario must error")
 	}
 }
 
@@ -105,7 +119,7 @@ func TestRunChaosStage(t *testing.T) {
 func TestRunRecoveredConvertsPanics(t *testing.T) {
 	// k <= 0 reaches partitioner internals that enforce invariants with
 	// panics; the boundary must convert, not crash.
-	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, false, chaosOpts{})
+	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, false, chaosOpts{}, driftOpts{})
 	if err == nil {
 		t.Error("negative k must error")
 	}
@@ -113,7 +127,7 @@ func TestRunRecoveredConvertsPanics(t *testing.T) {
 
 func TestRealMainError(t *testing.T) {
 	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1,
-		false, "", "", false, "", chaosOpts{}); err == nil {
+		false, "", "", false, "", chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

@@ -1,0 +1,89 @@
+// Drift-adaptation export: TestDriftExport runs the static vs adaptive
+// vs oracle drift comparison at a reduced scale and writes the rows as
+// JSON, so successive changes leave a machine-readable record of the
+// adaptation quality (post-drift distributed fractions, movement, swap
+// counts) next to the repo.
+//
+// The export is opt-in, sharing the bench-export gate:
+//
+//	BENCH_EXPORT=1 go test -run TestDriftExport .   # writes BENCH_drift.json
+//	BENCH_EXPORT=drift.json go test -run TestDriftExport .
+//
+// or `make bench-export`.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// driftExport is the BENCH_drift.json document.
+type driftExport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	WrittenAt string `json:"written_at"`
+	// Parameters of the run (quick scale; fixed seed for comparability).
+	Nodes  int   `json:"nodes"`
+	Scale  int   `json:"scale"`
+	Txns   int   `json:"txns"`
+	Window int   `json:"window"`
+	Budget int   `json:"budget"`
+	Seed   int64 `json:"seed"`
+
+	Rows []experiments.DriftRow `json:"rows"`
+}
+
+// TestDriftExport writes the drift-adaptation rows to BENCH_drift.json
+// when BENCH_EXPORT is set (a value of "1" uses the default path; any
+// other value overrides it — but only TestBenchExport's BENCH_obs.json
+// default is shared, so an override here names the drift artifact).
+func TestDriftExport(t *testing.T) {
+	dest := os.Getenv("BENCH_EXPORT")
+	if dest == "" {
+		t.Skip("set BENCH_EXPORT=1 (or a path) to export drift-adaptation results")
+	}
+	if dest == "1" || dest == "BENCH_obs.json" {
+		dest = "BENCH_drift.json"
+	}
+	const (
+		nodes  = 4
+		scale  = 120
+		txns   = 2000
+		window = 400
+		budget = 900
+		seed   = int64(1)
+	)
+	rows, err := experiments.Drift(nil, nodes, scale, txns, window, budget, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := driftExport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		WrittenAt: time.Now().UTC().Format(time.RFC3339),
+		Nodes:     nodes, Scale: scale, Txns: txns,
+		Window: window, Budget: budget, Seed: seed,
+		Rows: rows,
+	}
+	for _, row := range rows {
+		if row.Adaptive.PostDistFrac >= row.Static.PostDistFrac {
+			t.Errorf("%s: exported adaptive post-drift %.3f not below static %.3f",
+				row.Scenario, row.Adaptive.PostDistFrac, row.Static.PostDistFrac)
+		}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dest, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d scenarios)", dest, len(rows))
+}

@@ -66,6 +66,15 @@ type Options struct {
 	// seeding, train/test splits made internally).
 	Seed int64
 
+	// Warm seeds Phase 3 with a previously deployed solution: the warm
+	// solution is costed first and becomes the incumbent every enumerated
+	// combination must beat, so an unchanged workload re-converges to the
+	// deployed trees without paying for a regression. It must share K and
+	// validate against the schema; otherwise it is ignored. (The
+	// incremental repartitioning entry point Repartition sets this; see
+	// warm.go.)
+	Warm *partition.Solution
+
 	// IntraTableOnly is an ablation switch: consider only attributes of
 	// the partitioned table itself (join paths of at most one projection
 	// hop), disabling join extension.

@@ -71,10 +71,26 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 		return sol, rep, nil
 	}
 
-	// Steps 2–3: per attribute, build reduced per-table solution sets,
-	// enumerate combinations, and keep the global-cheapest.
+	// Warm start: a previously deployed solution seeds the incumbent.
+	// Every enumerated combination must now *beat* the deployed trees on
+	// the current training window, so a stable workload keeps its
+	// placements (and the migration planner sees a zero-move delta).
 	var best *partition.Solution
 	bestCost := 0.0
+	if w := p.opts.Warm; w != nil && w.K == p.opts.K && w.Validate(sc) == nil {
+		r, err := eval.Evaluate(p.in.DB, w, p.in.Train)
+		if err == nil {
+			// Copy the shell so renaming the winner cannot mutate the
+			// caller's deployed solution.
+			best = &partition.Solution{Name: w.Name, K: w.K, Tables: w.Tables}
+			bestCost = r.Cost()
+			rep.WarmSeeded = true
+			rep.WarmCost = bestCost
+		}
+	}
+
+	// Steps 2–3: per attribute, build reduced per-table solution sets,
+	// enumerate combinations, and keep the global-cheapest.
 	for _, attr := range attrs {
 		combos, err := p.combosForAttribute(pre, byTable, attr, compat)
 		if err != nil {

@@ -29,6 +29,10 @@ type Report struct {
 	ChosenAttribute schema.ColumnRef
 	// TrainCost is the winning combination's cost on the training trace.
 	TrainCost float64
+	// WarmSeeded is set when Options.Warm seeded Phase 3's incumbent;
+	// WarmCost is the warm solution's cost on this run's training trace.
+	WarmSeeded bool
+	WarmCost   float64
 	// Solution is the final global solution.
 	Solution *partition.Solution
 }

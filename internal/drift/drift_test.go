@@ -1,0 +1,202 @@
+package drift
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// classTrace builds a trace of n transactions cycling through the given
+// class names with the given weights (integer proportions).
+func classTrace(classes map[string]int) *trace.Trace {
+	col := trace.NewCollector()
+	for class, n := range classes {
+		for i := 0; i < n; i++ {
+			col.Begin(class, map[string]value.Value{})
+			col.Write("T", value.MakeKey(value.NewInt(int64(i))))
+			col.Commit()
+		}
+	}
+	return col.Trace()
+}
+
+func TestJSDistanceProperties(t *testing.T) {
+	p := map[string]float64{"a": 3, "b": 1}
+	q := map[string]float64{"a": 1, "b": 3}
+	// Identity.
+	if d := JSDistance(p, p); d != 0 {
+		t.Errorf("JS(p,p) = %v, want 0", d)
+	}
+	// Symmetry.
+	if d1, d2 := JSDistance(p, q), JSDistance(q, p); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	// Range.
+	if d := JSDistance(p, q); d <= 0 || d >= 1 {
+		t.Errorf("JS(p,q) = %v, want in (0,1)", d)
+	}
+	// Disjoint supports are maximally distant.
+	if d := JSDistance(map[string]float64{"a": 1}, map[string]float64{"b": 1}); math.Abs(d-1) > 1e-9 {
+		t.Errorf("disjoint JS = %v, want 1", d)
+	}
+	// Empty conventions.
+	if d := JSDistance(nil, nil); d != 0 {
+		t.Errorf("JS(∅,∅) = %v, want 0", d)
+	}
+	if d := JSDistance(nil, p); d != 1 {
+		t.Errorf("JS(∅,p) = %v, want 1", d)
+	}
+	// Normalization: scaling one input changes nothing.
+	scaled := map[string]float64{"a": 300, "b": 100}
+	if d := JSDistance(p, scaled); d != 0 {
+		t.Errorf("JS(p, 100p) = %v, want 0", d)
+	}
+}
+
+func TestJSDistanceSlicesPadding(t *testing.T) {
+	// Shorter slice zero-pads: [1] vs [0.5, 0.5] is a real distance,
+	// identical slices are at 0, length mismatch with disjoint mass at 1.
+	if d := jsDistanceSlices([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Errorf("identical = %v", d)
+	}
+	if d := jsDistanceSlices([]float64{1}, []float64{0, 1}); math.Abs(d-1) > 1e-9 {
+		t.Errorf("disjoint padded = %v, want 1", d)
+	}
+	if d := jsDistanceSlices(nil, nil); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+}
+
+// TestDetectorFirstWindowIsReference: with no explicit reference the
+// first observation anchors the detector and reports a zero signal.
+func TestDetectorFirstWindowIsReference(t *testing.T) {
+	det := New(Config{})
+	sig := det.Observe(Observation{Window: classTrace(map[string]int{"A": 10}), DistFrac: 0.2})
+	if sig.Drifted || sig.Score != 0 || sig.WindowIndex != 0 {
+		t.Errorf("first window signal = %+v, want zero", sig)
+	}
+	// A steady second window stays steady.
+	sig = det.Observe(Observation{Window: classTrace(map[string]int{"A": 10}), DistFrac: 0.2})
+	if sig.Drifted {
+		t.Errorf("steady window drifted: %+v", sig)
+	}
+}
+
+// TestDetectorSignalsFire exercises each signal in isolation.
+func TestDetectorSignalsFire(t *testing.T) {
+	ref := Observation{
+		Window:        classTrace(map[string]int{"A": 9, "B": 1}),
+		DistFrac:      0.1,
+		PartitionHeat: []float64{10, 10},
+	}
+
+	t.Run("mix", func(t *testing.T) {
+		det := New(Config{})
+		det.SetReference(ref)
+		sig := det.Observe(Observation{
+			Window: classTrace(map[string]int{"A": 1, "B": 9}), DistFrac: 0.1,
+			PartitionHeat: []float64{10, 10},
+		})
+		if !sig.Drifted || len(sig.Reasons) == 0 || sig.Reasons[0] != "mix" {
+			t.Errorf("signal = %+v, want mix drift", sig)
+		}
+		if sig.Score < 1 {
+			t.Errorf("score = %v, want >= 1 on a fired signal", sig.Score)
+		}
+	})
+	t.Run("skew", func(t *testing.T) {
+		det := New(Config{})
+		det.SetReference(ref)
+		sig := det.Observe(Observation{
+			Window: classTrace(map[string]int{"A": 9, "B": 1}), DistFrac: 0.1,
+			PartitionHeat: []float64{19, 1},
+		})
+		if !sig.Drifted || len(sig.Reasons) != 1 || sig.Reasons[0] != "skew" {
+			t.Errorf("signal = %+v, want skew drift", sig)
+		}
+	})
+	t.Run("dist", func(t *testing.T) {
+		det := New(Config{})
+		det.SetReference(ref)
+		sig := det.Observe(Observation{
+			Window: classTrace(map[string]int{"A": 9, "B": 1}), DistFrac: 0.5,
+			PartitionHeat: []float64{10, 10},
+		})
+		if !sig.Drifted || len(sig.Reasons) != 1 || sig.Reasons[0] != "dist" {
+			t.Errorf("signal = %+v, want dist drift", sig)
+		}
+	})
+	t.Run("nil heat disables skew", func(t *testing.T) {
+		det := New(Config{})
+		det.SetReference(ref)
+		sig := det.Observe(Observation{
+			Window: classTrace(map[string]int{"A": 9, "B": 1}), DistFrac: 0.1,
+		})
+		if sig.SkewJS != 0 || sig.Drifted {
+			t.Errorf("signal = %+v, want no skew signal without heat", sig)
+		}
+	})
+}
+
+// TestDetectorCooldown: after a trigger, further over-threshold windows
+// are suppressed for CooldownWindows windows, then fire again;
+// ClearCooldown lifts the shield immediately.
+func TestDetectorCooldown(t *testing.T) {
+	drifted := Observation{Window: classTrace(map[string]int{"A": 1, "B": 9}), DistFrac: 0.1}
+	mk := func() *Detector {
+		det := New(Config{CooldownWindows: 2})
+		det.SetReference(Observation{Window: classTrace(map[string]int{"A": 9, "B": 1}), DistFrac: 0.1})
+		return det
+	}
+
+	det := mk()
+	if sig := det.Observe(drifted); !sig.Drifted {
+		t.Fatalf("first over-threshold window must trigger: %+v", sig)
+	}
+	for i := 0; i < 2; i++ {
+		if sig := det.Observe(drifted); sig.Drifted {
+			t.Fatalf("cooldown window %d re-triggered: %+v", i, sig)
+		}
+	}
+	if sig := det.Observe(drifted); !sig.Drifted {
+		t.Fatalf("post-cooldown window must trigger again: %+v", sig)
+	}
+
+	det = mk()
+	if sig := det.Observe(drifted); !sig.Drifted {
+		t.Fatal("trigger expected")
+	}
+	det.ClearCooldown()
+	if sig := det.Observe(drifted); !sig.Drifted {
+		t.Fatalf("ClearCooldown must allow an immediate re-trigger: %+v", sig)
+	}
+}
+
+// TestDetectorReanchor: SetReference against the drifted window makes the
+// drifted mix the new steady state.
+func TestDetectorReanchor(t *testing.T) {
+	det := New(Config{})
+	det.SetReference(Observation{Window: classTrace(map[string]int{"A": 9, "B": 1}), DistFrac: 0.1})
+	drifted := Observation{Window: classTrace(map[string]int{"A": 1, "B": 9}), DistFrac: 0.1}
+	if sig := det.Observe(drifted); !sig.Drifted {
+		t.Fatal("trigger expected")
+	}
+	det.SetReference(drifted)
+	det.ClearCooldown()
+	if sig := det.Observe(drifted); sig.Drifted || sig.MixJS != 0 {
+		t.Errorf("re-anchored steady state drifted: %+v", sig)
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	s := Signal{WindowIndex: 3, Score: 1.4, MixJS: 0.2, Drifted: true, Reasons: []string{"mix"}}
+	if got := s.String(); !strings.Contains(got, "DRIFT [mix]") {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Signal{}).String(); !strings.Contains(got, "steady") {
+		t.Errorf("String() = %q", got)
+	}
+}

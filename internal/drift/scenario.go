@@ -1,0 +1,149 @@
+package drift
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/trace"
+	"repro/internal/workloads/synthetic"
+)
+
+// Builtin drift scenarios over the synthetic benchmark's two transaction
+// classes (ByGroup: schema-respecting, localizable by the P_GROUP join
+// extension; ByTag: implicit-join, localizable only by the intra-table
+// C_TAG attribute). Each scenario shifts the workload mid-run so that
+// the partitioning attribute JECB would pick flips — the drift a static
+// deployment cannot follow:
+//
+//	mix-flip       abrupt class-mix inversion at the drift point:
+//	               ByGroup 90% → 10%. The textbook mix-drift case.
+//	skew-rotate    gradual rotation: the ByGroup share decays linearly
+//	               across the run while the hot key range of both
+//	               classes rotates through the domain — the skew-shift
+//	               signal fires before the mix signal does.
+//	hotspot-birth  a hot tag is born at the drift point: ByTag jumps
+//	               from 45% to 80% of traffic and concentrates most of
+//	               it on one tag value.
+//
+// Scenario generation is deterministic per seed: one rand.Rand drives
+// every class and key draw in replay order.
+
+// Scenario describes one drifting workload shape.
+type Scenario struct {
+	// Name is the registry key.
+	Name string
+	// DriftFrac is the fraction of the run at which the shift lands (for
+	// gradual scenarios, the nominal midpoint reports use).
+	DriftFrac float64
+
+	// groupShare returns the ByGroup share of the mix at progress
+	// x ∈ [0,1).
+	groupShare func(x float64) float64
+	// pickGroup and pickTag draw keys at progress x.
+	pickGroup func(x float64, groups int64, rng *rand.Rand) int64
+	pickTag   func(x float64, tags int64, rng *rand.Rand) int64
+}
+
+// BuiltinNames lists the builtin drift scenarios, sorted.
+func BuiltinNames() []string {
+	out := []string{"mix-flip", "skew-rotate", "hotspot-birth"}
+	sort.Strings(out)
+	return out
+}
+
+// uniformKey draws uniformly from [0, n).
+func uniformKey(_ float64, n int64, rng *rand.Rand) int64 { return rng.Int63n(n) }
+
+// rotatingHot draws 80% of keys from a rotating hot range covering an
+// eighth of the domain (the hot range's start advances with progress),
+// and the rest uniformly.
+func rotatingHot(x float64, n int64, rng *rand.Rand) int64 {
+	if n <= 1 {
+		return 0
+	}
+	width := n / 8
+	if width < 1 {
+		width = 1
+	}
+	if rng.Float64() < 0.8 {
+		start := int64(x * float64(n))
+		return (start + rng.Int63n(width)) % n
+	}
+	return rng.Int63n(n)
+}
+
+// BuiltinScenario returns a named canned drift scenario.
+func BuiltinScenario(name string) (*Scenario, error) {
+	switch name {
+	case "mix-flip":
+		return &Scenario{
+			Name:      "mix-flip",
+			DriftFrac: 0.5,
+			groupShare: func(x float64) float64 {
+				if x < 0.5 {
+					return 0.9
+				}
+				return 0.1
+			},
+			pickGroup: uniformKey,
+			pickTag:   uniformKey,
+		}, nil
+	case "skew-rotate":
+		return &Scenario{
+			Name:      "skew-rotate",
+			DriftFrac: 0.5,
+			// Gradual decay 0.85 → 0.15 across the run; the share crosses
+			// 0.5 at the nominal drift point.
+			groupShare: func(x float64) float64 { return 0.85 - 0.7*x },
+			pickGroup:  rotatingHot,
+			pickTag:    rotatingHot,
+		}, nil
+	case "hotspot-birth":
+		return &Scenario{
+			Name:      "hotspot-birth",
+			DriftFrac: 0.5,
+			groupShare: func(x float64) float64 {
+				if x < 0.5 {
+					return 0.55
+				}
+				return 0.2
+			},
+			pickGroup: uniformKey,
+			pickTag: func(x float64, tags int64, rng *rand.Rand) int64 {
+				if x < 0.5 || tags <= 1 {
+					return rng.Int63n(tags)
+				}
+				// The born hotspot: 70% of post-drift tag traffic hits one
+				// tag value.
+				if rng.Float64() < 0.7 {
+					return tags / 3
+				}
+				return rng.Int63n(tags)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("drift: unknown scenario %q (have: %v)", name, BuiltinNames())
+	}
+}
+
+// GenerateTrace replays n transactions of the scenario against a
+// synthetic database, returning the collected trace and the index of the
+// first post-drift transaction. Generation is deterministic per seed.
+func (s *Scenario) GenerateTrace(d *db.DB, n int, seed int64) (*trace.Trace, int) {
+	rng := rand.New(rand.NewSource(seed))
+	col := trace.NewCollector()
+	groups := synthetic.Groups(d)
+	tags := int64(synthetic.Tags(d.Table("PARENT").Len()))
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		if rng.Float64() < s.groupShare(x) {
+			synthetic.ExecByGroup(d, col, s.pickGroup(x, groups, rng))
+		} else {
+			synthetic.ExecByTag(d, col, s.pickTag(x, tags, rng))
+		}
+	}
+	driftAt := int(s.DriftFrac * float64(n))
+	return col.Trace(), driftAt
+}

@@ -1,0 +1,126 @@
+package placement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/partition"
+	"repro/internal/value"
+)
+
+// TestPackDeterministicUnderTies: Pack is a pure function of (heat,
+// nodes); with many tied heats — the adversarial case for an unstable
+// sort — repeated calls must return identical plans, and equal-heat
+// partitions must appear in ascending index order. This is the stability
+// guarantee internal/migrate diffs packed deployments against.
+func TestPackDeterministicUnderTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		nodes := 1 + rng.Intn(8)
+		heat := make([]float64, n)
+		for i := range heat {
+			// Few distinct levels => many ties.
+			heat[i] = float64(rng.Intn(4))
+		}
+		first, err := Pack(heat, nodes)
+		if err != nil {
+			return false
+		}
+		for rep := 0; rep < 5; rep++ {
+			again, err := Pack(heat, nodes)
+			if err != nil || !reflect.DeepEqual(first, again) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPackApplyRoundTrip is the Pack→Apply round-trip property across
+// changing logical-partition counts: for any k and node count, the
+// packed solution must (a) be a valid Solution with K = nodes, and
+// (b) route every tuple to exactly plan.Node[inner.Map(tuple)] — the
+// composition the packedMapper promises. When k shrinks back to nodes
+// with uniform heat, packing must be a pure relabeling (every node hosts
+// exactly one partition).
+func TestPackApplyRoundTrip(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 200, 3)
+	for _, tc := range []struct{ k, nodes int }{
+		{4, 4}, {8, 4}, {16, 4}, {32, 4}, {16, 2}, {16, 8}, {5, 3},
+	} {
+		logical := custInfoSolution(tc.k)
+		heat, err := Heat(d, logical, tr)
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		plan, err := Pack(heat, tc.nodes)
+		if err != nil {
+			t.Fatalf("k=%d nodes=%d: %v", tc.k, tc.nodes, err)
+		}
+		packed := plan.Apply(logical)
+		if packed.K != tc.nodes {
+			t.Fatalf("k=%d nodes=%d: packed.K = %d", tc.k, tc.nodes, packed.K)
+		}
+		if err := packed.Validate(d.Schema()); err != nil {
+			t.Fatalf("k=%d nodes=%d: packed solution invalid: %v", tc.k, tc.nodes, err)
+		}
+		// Per-tuple agreement: packed mapper == Node[inner mapper].
+		for name, ts := range logical.Tables {
+			if ts.Replicate {
+				continue
+			}
+			pm := packed.Table(name).Mapper
+			for v := int64(0); v < 64; v++ {
+				val := value.NewInt(v)
+				inner := ts.Mapper.Map(val)
+				want := plan.Node[inner]
+				if got := pm.Map(val); got != want {
+					t.Fatalf("k=%d nodes=%d %s: Map(%d) = %d, want Node[%d] = %d",
+						tc.k, tc.nodes, name, v, got, inner, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackSameKIsPermutation: packing k partitions onto k nodes assigns
+// exactly one partition per node (a permutation), so re-packing at the
+// deployed node count never co-locates or splits anything.
+func TestPackSameKIsPermutation(t *testing.T) {
+	heat := []float64{5, 5, 5, 5, 1, 1} // ties included
+	plan, err := Pack(heat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 6)
+	for p, n := range plan.Node {
+		if seen[n] {
+			t.Fatalf("node %d hosts two partitions (second: %d): %v", n, p, plan.Node)
+		}
+		seen[n] = true
+	}
+}
+
+// TestApplyOutOfRangeInner: an inner mapper that strays outside the
+// plan's partition range clamps to node 0 instead of panicking (the
+// packedMapper contract for defensive routing).
+func TestApplyOutOfRangeInner(t *testing.T) {
+	plan := &Plan{Node: []int{1, 0}, Nodes: 2}
+	sol := partition.NewSolution("wide", 8)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), partition.NewHash(8)))
+	packed := plan.Apply(sol)
+	m := packed.Table("TRADE").Mapper
+	for v := int64(0); v < 32; v++ {
+		if got := m.Map(value.NewInt(v)); got < 0 || got >= 2 {
+			t.Fatalf("Map(%d) = %d out of node range", v, got)
+		}
+	}
+}

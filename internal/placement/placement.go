@@ -54,6 +54,16 @@ func Heat(d *db.DB, sol *partition.Solution, tr *trace.Trace) ([]float64, error)
 }
 
 // Plan maps logical partitions onto processing nodes.
+//
+// Stability guarantee: Pack is a pure, deterministic function of (heat,
+// nodes) — equal-heat partitions are ordered by ascending partition index,
+// so the same inputs always produce the same Plan, and Apply of the same
+// Plan to the same Solution always produces the same packed Solution
+// (same mappers, same fingerprints). The migration planner
+// (internal/migrate) and the epoch router's catch-up path both diff
+// packed deployments as plain Solutions and rely on this: a re-run over
+// an unchanged heat vector must produce a zero-delta plan, not a
+// cosmetically shuffled one.
 type Plan struct {
 	// Node[p] is the node hosting logical partition p.
 	Node []int
@@ -62,7 +72,11 @@ type Plan struct {
 }
 
 // Pack assigns partitions to nodes with greedy longest-processing-time
-// bin packing: hottest partition first, onto the currently coolest node.
+// bin packing: hottest partition first, onto the currently coolest node
+// (lowest-index node on load ties). Partitions with equal heat are
+// packed in ascending partition-index order, making the Plan a
+// deterministic function of its inputs — see the Plan stability
+// guarantee.
 func Pack(heat []float64, nodes int) (*Plan, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("placement: nodes = %d", nodes)
@@ -71,7 +85,12 @@ func Pack(heat []float64, nodes int) (*Plan, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool { return heat[order[i]] > heat[order[j]] })
+	sort.Slice(order, func(i, j int) bool {
+		if heat[order[i]] != heat[order[j]] {
+			return heat[order[i]] > heat[order[j]]
+		}
+		return order[i] < order[j] // deterministic tie-break
+	})
 	plan := &Plan{Node: make([]int, len(heat)), Nodes: nodes}
 	load := make([]float64, nodes)
 	for _, p := range order {

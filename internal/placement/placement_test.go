@@ -77,9 +77,12 @@ func TestPackErrors(t *testing.T) {
 	}
 }
 
-// TestPackLPTBoundProperty: greedy LPT packing is within 4/3 of the
-// optimal makespan; assert the looser invariant that the hottest node
-// carries at most max(4/3 * mean, hottest single partition).
+// TestPackLPTBoundProperty: greedy list scheduling satisfies Graham's
+// bound — the hottest node carries at most mean + (1-1/m) * the hottest
+// single partition. (The tighter 4/3*OPT LPT bound is not checkable
+// here because OPT is not mean: with more partitions than nodes some
+// node must carry several partitions, so mean underestimates OPT and a
+// mean-based 4/3 bound fails on valid packings.)
 func TestPackLPTBoundProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -105,10 +108,8 @@ func TestPackLPTBoundProperty(t *testing.T) {
 				maxLoad = l
 			}
 		}
-		bound := total/float64(nodes)*4/3 + 1e-9
-		if maxPart > bound {
-			bound = maxPart + 1e-9
-		}
+		m := float64(nodes)
+		bound := total/m + (1-1/m)*maxPart + 1e-9
 		return maxLoad <= bound
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -151,6 +151,59 @@ func (tr *Trace) Head(n int) *Trace {
 	return &Trace{Txns: tr.Txns[:n]}
 }
 
+// Window returns the sliding window of n transactions starting at index
+// i, sharing the underlying transaction storage (no copy). Out-of-range
+// prefixes and suffixes clamp: a start past the end yields an empty
+// trace, and a window overrunning the end is truncated. Negative i or n
+// panic — window arithmetic is caller code, not external input.
+//
+// The drift detector consumes consecutive Window(i, n) slices of a live
+// trace; before this helper every caller re-sliced Txns ad hoc.
+func (tr *Trace) Window(i, n int) *Trace {
+	if i < 0 || n < 0 {
+		panic(fmt.Sprintf("trace: Window(%d, %d) with negative argument", i, n))
+	}
+	if i >= len(tr.Txns) {
+		return &Trace{}
+	}
+	end := i + n
+	if end > len(tr.Txns) {
+		end = len(tr.Txns)
+	}
+	return &Trace{Txns: tr.Txns[i:end]}
+}
+
+// NumWindows returns how many complete and partial windows of size n the
+// trace splits into (ceil(len/n)); zero for an empty trace. It panics on
+// n <= 0.
+func (tr *Trace) NumWindows(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: NumWindows(%d)", n))
+	}
+	return (len(tr.Txns) + n - 1) / n
+}
+
+// Concat returns a new trace holding this trace's transactions followed
+// by every other trace's, in argument order. The transactions are copied
+// into fresh storage, so the result is safe to append to without
+// aliasing the inputs; nil inputs are skipped.
+func (tr *Trace) Concat(others ...*Trace) *Trace {
+	total := len(tr.Txns)
+	for _, o := range others {
+		if o != nil {
+			total += len(o.Txns)
+		}
+	}
+	out := &Trace{Txns: make([]Txn, 0, total)}
+	out.Txns = append(out.Txns, tr.Txns...)
+	for _, o := range others {
+		if o != nil {
+			out.Txns = append(out.Txns, o.Txns...)
+		}
+	}
+	return out
+}
+
 // TableStats aggregates per-table read/write behaviour over a trace; JECB
 // Phase 1 uses it to pick replicated (read-only / read-mostly) tables.
 type TableStats struct {

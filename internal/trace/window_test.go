@@ -1,0 +1,129 @@
+package trace
+
+import "testing"
+
+func windowFixture(n int) *Trace {
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		class := "A"
+		if i%3 == 0 {
+			class = "B"
+		}
+		tr.Txns = append(tr.Txns, Txn{ID: i, Class: class})
+	}
+	return tr
+}
+
+func ids(tr *Trace) []int {
+	out := make([]int, 0, tr.Len())
+	for i := range tr.Txns {
+		out = append(out, tr.Txns[i].ID)
+	}
+	return out
+}
+
+func TestWindowBasic(t *testing.T) {
+	tr := windowFixture(10)
+	w := tr.Window(3, 4)
+	if got := ids(w); len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("Window(3,4) = %v, want [3 4 5 6]", got)
+	}
+	// Windows share storage: no copy.
+	if &w.Txns[0] != &tr.Txns[3] {
+		t.Fatal("Window should alias the underlying transactions")
+	}
+}
+
+func TestWindowClamping(t *testing.T) {
+	tr := windowFixture(10)
+	if got := tr.Window(8, 5).Len(); got != 2 {
+		t.Fatalf("overrunning window length = %d, want 2", got)
+	}
+	if got := tr.Window(10, 3).Len(); got != 0 {
+		t.Fatalf("past-the-end window length = %d, want 0", got)
+	}
+	if got := tr.Window(0, 0).Len(); got != 0 {
+		t.Fatalf("zero-size window length = %d, want 0", got)
+	}
+	if got := tr.Window(0, 100).Len(); got != 10 {
+		t.Fatalf("oversized window length = %d, want 10", got)
+	}
+}
+
+func TestWindowNegativePanics(t *testing.T) {
+	tr := windowFixture(3)
+	for _, args := range [][2]int{{-1, 2}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Window(%d, %d) did not panic", args[0], args[1])
+				}
+			}()
+			tr.Window(args[0], args[1])
+		}()
+	}
+}
+
+func TestWindowTiling(t *testing.T) {
+	// Consecutive windows tile the trace exactly.
+	tr := windowFixture(23)
+	const n = 5
+	if got := tr.NumWindows(n); got != 5 {
+		t.Fatalf("NumWindows(%d) = %d, want 5", n, got)
+	}
+	var all []int
+	for w := 0; w < tr.NumWindows(n); w++ {
+		all = append(all, ids(tr.Window(w*n, n))...)
+	}
+	if len(all) != tr.Len() {
+		t.Fatalf("tiled windows cover %d txns, want %d", len(all), tr.Len())
+	}
+	for i, id := range all {
+		if id != i {
+			t.Fatalf("tiled window order broken at %d: got id %d", i, id)
+		}
+	}
+}
+
+func TestNumWindowsEdge(t *testing.T) {
+	if got := (&Trace{}).NumWindows(4); got != 0 {
+		t.Fatalf("empty NumWindows = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumWindows(0) did not panic")
+		}
+	}()
+	windowFixture(3).NumWindows(0)
+}
+
+func TestConcat(t *testing.T) {
+	a := windowFixture(3)
+	b := windowFixture(2)
+	got := a.Concat(b, nil, &Trace{})
+	if got.Len() != 5 {
+		t.Fatalf("Concat length = %d, want 5", got.Len())
+	}
+	want := []int{0, 1, 2, 0, 1}
+	for i, id := range ids(got) {
+		if id != want[i] {
+			t.Fatalf("Concat order = %v, want %v", ids(got), want)
+		}
+	}
+	// The result owns its storage: appending must not clobber inputs.
+	got.Txns = append(got.Txns, Txn{ID: 99})
+	got.Txns[0].ID = 42
+	if a.Txns[0].ID != 0 {
+		t.Fatal("Concat aliased its input storage")
+	}
+}
+
+func TestWindowMixMatchesSlice(t *testing.T) {
+	tr := windowFixture(12)
+	w := tr.Window(0, 6)
+	mix := w.Mix()
+	// ids 0..5: B at 0,3 → 2/6; A otherwise → 4/6.
+	if mix["B"] != 2.0/6 || mix["A"] != 4.0/6 {
+		t.Fatalf("window mix = %v", mix)
+	}
+}

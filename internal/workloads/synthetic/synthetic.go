@@ -137,12 +137,32 @@ func (b bench) Classes() []workloads.Class {
 }
 
 func runByGroup(d *db.DB, col *trace.Collector, rng *rand.Rand) {
-	parents := int64(d.Table("PARENT").Len())
-	groups := parents / ParentsPerGroup
+	ExecByGroup(d, col, rng.Int63n(Groups(d)))
+}
+
+func runByTag(d *db.DB, col *trace.Collector, rng *rand.Rand) {
+	ExecByTag(d, col, rng.Int63n(int64(Tags(d.Table("PARENT").Len()))))
+}
+
+// Groups returns the group-domain size of a generated database.
+func Groups(d *db.DB) int64 {
+	groups := int64(d.Table("PARENT").Len()) / ParentsPerGroup
 	if groups == 0 {
 		groups = 1
 	}
-	g := rng.Int63n(groups)
+	return groups
+}
+
+// Tags returns the tag-domain size for a parent count (the same domain
+// Generate used).
+func Tags(parents int) int { return tags(parents) }
+
+// ExecByGroup executes one ByGroup transaction against the chosen group,
+// recording its accesses through the collector. Exported so drift
+// scenarios (internal/drift) can impose their own key distributions —
+// rotating hot ranges, hotspots — instead of the uniform draw of the
+// registered benchmark mix.
+func ExecByGroup(d *db.DB, col *trace.Collector, g int64) {
 	col.Begin("ByGroup", map[string]value.Value{"group": iv(g)})
 	for _, pk := range d.Table("PARENT").LookupBy("P_GROUP", iv(g)) {
 		col.Write("PARENT", pk)
@@ -154,9 +174,9 @@ func runByGroup(d *db.DB, col *trace.Collector, rng *rand.Rand) {
 	col.Commit()
 }
 
-func runByTag(d *db.DB, col *trace.Collector, rng *rand.Rand) {
-	parents := d.Table("PARENT").Len()
-	tag := rng.Int63n(int64(tags(parents)))
+// ExecByTag executes one ByTag transaction against the chosen tag,
+// recording its accesses through the collector.
+func ExecByTag(d *db.DB, col *trace.Collector, tag int64) {
 	col.Begin("ByTag", map[string]value.Value{"tag": iv(tag)})
 	for _, k := range d.Table("CHILD").LookupBy("C_TAG", iv(tag)) {
 		col.Write("CHILD", k)
