@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos drift fuzz clean
+.PHONY: all build test verify bench bench-export experiments chaos drift recover fuzz clean
 
 all: build
 
@@ -51,12 +51,24 @@ drift:
 	$(GO) run ./cmd/experiments -run drift -quick
 	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 2000 -drift mix-flip -drift-budget 1200 -drift-window 400
 
+# recover runs the durability experiment (WAL-backed 2PC replay under
+# every crash scenario, each ending in a full-cluster crash, recovery,
+# and the consistency oracle), then exercises the standalone recovery
+# path: a chaos run with a coordinator crash leaves its partition logs
+# behind, and `jecb -recover` must replay them to the same digests.
+recover:
+	$(GO) run ./cmd/experiments -run durability -quick
+	rm -rf /tmp/jecb-wal && $(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 1500 \
+		-chaos -chaos-seed 1 -chaos-scenario coord-crash -wal-dir /tmp/jecb-wal
+	$(GO) run ./cmd/jecb -benchmark synthetic -recover -wal-dir /tmp/jecb-wal
+
 # fuzz gives each fuzz target a short exploration budget beyond the seed
 # corpora that already run in the normal test pass.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/sqlparse/
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRead -fuzztime=20s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/faults/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=20s ./internal/wal/
 
 clean:
 	rm -f BENCH_obs.json BENCH_drift.json experiments_obs.json

@@ -16,7 +16,19 @@
 //	-chaos                    enable the chaos-mode cluster simulation
 //	-chaos-seed 1             fault-injection seed (replays are bit-identical per seed)
 //	-chaos-scenario file|name scenario JSON file or builtin name (single-crash,
-//	                          rolling, flaky-network, half-down, none)
+//	                          rolling, flaky-network, half-down, part-crash,
+//	                          prep-crash, coord-crash, none)
+//
+// Durability flags (WAL-backed 2PC execution and crash recovery):
+//
+//	-wal-dir DIR   with -chaos: run the durable replay too — per-partition
+//	               write-ahead logs in DIR, scripted mid-2PC crash points,
+//	               end-of-run crash recovery and the consistency oracle
+//	               (a DIVERGED oracle is a non-zero exit)
+//	-recover       skip the pipeline; recover the partition logs in -wal-dir
+//	               against the benchmark's schema, resolve in-doubt
+//	               transactions (presumed abort) and print the recovered
+//	               per-table digests
 //
 // Drift flags (workload-drift adaptation replay; synthetic benchmark only):
 //
@@ -34,6 +46,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime/debug"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -49,15 +62,22 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/workloads"
 	_ "repro/internal/workloads/all"
 )
 
-// chaosOpts bundles the fault-injection flags.
+// chaosOpts bundles the fault-injection and durability flags.
 type chaosOpts struct {
 	enabled  bool
 	seed     int64
 	scenario string
+	// walDir enables the durable (WAL-backed 2PC) replay under -chaos and
+	// names the log directory for -recover.
+	walDir string
+	// recover runs standalone crash recovery of walDir instead of the
+	// pipeline.
+	recover bool
 }
 
 // driftOpts bundles the workload-drift flags.
@@ -85,6 +105,8 @@ func main() {
 		chaos         = flag.Bool("chaos", false, "replay the test trace under fault injection")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed")
 		chaosScenario = flag.String("chaos-scenario", "", "scenario JSON file or builtin name (default single-crash)")
+		walDir        = flag.String("wal-dir", "", "with -chaos: durable 2PC replay with per-partition WALs in this directory; with -recover: the directory to recover")
+		recoverRun    = flag.Bool("recover", false, "recover the partition logs in -wal-dir against the benchmark schema and exit")
 
 		driftScenario = flag.String("drift", "", "drift scenario to replay with the adaptation loop ("+strings.Join(drift.BuiltinNames(), ", ")+"); synthetic benchmark only")
 		driftBudget   = flag.Int("drift-budget", 1500, "total moved-tuple budget for drift migrations (<=0 = unbounded)")
@@ -92,7 +114,8 @@ func main() {
 	)
 	flag.Parse()
 
-	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario}
+	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario,
+		walDir: *walDir, recover: *recoverRun}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed,
 		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do); err != nil {
@@ -122,7 +145,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 		return err
 	}
 
-	if out != "" {
+	if out != "" && sol != nil {
 		data, err := json.MarshalIndent(sol, "", "  ")
 		if err != nil {
 			return err
@@ -166,6 +189,9 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
+	}
+	if co.recover {
+		return nil, recoverStage(ctx, b, scale, seed, co)
 	}
 	fmt.Printf("loading %s (scale %d) ...\n", benchmark, effectiveScale(b, scale))
 	_, sLoad := obs.StartSpan(ctx, "load")
@@ -327,7 +353,10 @@ func driftStage(ctx context.Context, benchmark string, d *db.DB, b workloads.Ben
 }
 
 // chaosStage replays the test trace under a fault scenario and reports
-// availability, abort/retry and degradation metrics. The JSON block is the
+// availability, abort/retry and degradation metrics. With -wal-dir set it
+// also runs the durable replay: a real 2PC state machine over
+// per-partition write-ahead logs, ending in a full-cluster crash,
+// recovery, and the consistency oracle. The JSON blocks are the
 // determinism contract: the same (benchmark, algo, k, seeds, scenario)
 // inputs print byte-identical results.
 func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *trace.Trace, co chaosOpts) error {
@@ -346,6 +375,76 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 		return err
 	}
 	fmt.Println("  " + string(data))
+
+	if co.walDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(co.walDir, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("durable: scenario %q, seed %d, wal-dir %s\n", sc.Name, co.seed, co.walDir)
+	dres, err := sim.RunChaosDurableContext(ctx, d, sol, test, sim.DurableConfig{}, sc, co.seed, co.walDir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + dres.String())
+	ddata, err := json.MarshalIndent(dres, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + string(ddata))
+	if !dres.OracleOK {
+		return fmt.Errorf("durable replay: consistency oracle DIVERGED under scenario %q", sc.Name)
+	}
+	return nil
+}
+
+// recoverStage is the standalone post-mortem path (-recover): it loads
+// the benchmark only for its schema, replays every partition log in
+// -wal-dir, resolves in-doubt transactions with the presumed-abort rule,
+// and prints the recovered per-table digests. Output is deterministic
+// for a given log directory.
+func recoverStage(ctx context.Context, b workloads.Benchmark, scale int, seed int64, co chaosOpts) error {
+	if co.walDir == "" {
+		return fmt.Errorf("-recover requires -wal-dir")
+	}
+	_, span := obs.StartSpan(ctx, "recover")
+	defer span.End()
+	d, err := b.Load(workloads.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cr, err := wal.RecoverDir(d.Schema(), co.walDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recover: %d partition logs, %d bytes\n", len(cr.Parts), cr.WALBytes)
+	fmt.Printf("  torn tails: %d, in-doubt resolved: %d committed / %d aborted\n",
+		cr.TornTails, cr.InDoubtCommitted, cr.InDoubtAborted)
+	ids := make([]int, 0, len(cr.Parts))
+	for id := range cr.Parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rec := cr.Parts[id]
+		ckpt := ""
+		if rec.CheckpointSeen {
+			ckpt = ", from checkpoint"
+		}
+		fmt.Printf("  partition %d: %d records, %d replayed commits, %d discarded%s\n",
+			id, rec.Records, len(rec.Committed), rec.Discarded, ckpt)
+	}
+	digests := cr.TableDigests()
+	names := make([]string, 0, len(digests))
+	for name := range digests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("  recovered table digests:")
+	for _, name := range names {
+		fmt.Printf("    %-24s %016x\n", name, digests[name])
+	}
 	return nil
 }
 

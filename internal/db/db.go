@@ -14,6 +14,7 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/schema"
@@ -27,6 +28,7 @@ var (
 	cRowsInserted = obs.Default.Counter("db.rows_inserted")
 	cTableScans   = obs.Default.Counter("db.table_scans")
 	cSecIdxBuilds = obs.Default.Counter("db.secondary_index_builds")
+	cTouches      = obs.Default.Counter("db.touches")
 )
 
 // DB is an in-memory database instance conforming to a schema.
@@ -61,7 +63,15 @@ func (d *DB) TotalRows() int {
 
 // Table stores the rows of one relation with a primary-key index and
 // lazily built single-column secondary indexes.
+//
+// Concurrency: a Table is safe for concurrent readers (Get, GetAny, Scan,
+// Keys, Len, LookupBy) against concurrent mutators (Insert, Update,
+// Delete, Touch) — an RWMutex guards the row store and indexes. Scan's
+// callback runs under the table's read lock and therefore must not mutate
+// the same table. Mutators are mutually serialized per table; cross-table
+// atomicity is the Tx API's job (tx.go), not the lock's.
 type Table struct {
+	mu   sync.RWMutex
 	meta *schema.Table
 	rows []value.Tuple
 	free []int // indexes of deleted slots available for reuse
@@ -71,6 +81,14 @@ type Table struct {
 	// still be evaluated for tuples a traced transaction deleted (the
 	// trace references them, but the live table no longer does).
 	graveyard map[value.Key]value.Tuple
+	// versions counts committed Touch writes per key. It is the durable
+	// execution layer's observable write effect: the chaos replay's
+	// transactions "write" a tuple by bumping its version, so the
+	// per-table Digest reflects exactly the committed write history even
+	// when the workload carries no new column values. Version entries may
+	// exist for keys without a live row (the durable stores of the 2PC
+	// simulation start empty and accumulate touches only).
+	versions map[value.Key]uint64
 }
 
 func newTable(meta *schema.Table) *Table {
@@ -84,7 +102,11 @@ func (t *Table) Meta() *schema.Table { return t.meta }
 func (t *Table) Name() string { return t.meta.Name }
 
 // Len returns the number of live rows.
-func (t *Table) Len() int { return len(t.pk) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.pk)
+}
 
 // PKOf computes the primary-key encoding of a tuple of this table.
 func (t *Table) PKOf(row value.Tuple) value.Key {
@@ -112,6 +134,8 @@ func (t *Table) Insert(row value.Tuple) (value.Key, error) {
 		}
 	}
 	k := t.PKOf(row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.pk[k]; dup {
 		return "", fmt.Errorf("db: %s: duplicate primary key %v", t.meta.Name, row)
 	}
@@ -142,6 +166,8 @@ func (t *Table) MustInsert(vals ...value.Value) value.Key {
 
 // Get returns the row with the given primary key.
 func (t *Table) Get(k value.Key) (value.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	slot, ok := t.pk[k]
 	if !ok {
 		return nil, false
@@ -156,6 +182,8 @@ func (t *Table) Update(k value.Key, cols []string, vals []value.Value) error {
 	if len(cols) != len(vals) {
 		return fmt.Errorf("db: %s: update arity mismatch", t.meta.Name)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	slot, ok := t.pk[k]
 	if !ok {
 		return fmt.Errorf("db: %s: update of missing key", t.meta.Name)
@@ -184,6 +212,12 @@ func (t *Table) Update(k value.Key, cols []string, vals []value.Value) error {
 // Delete removes the row identified by k; it reports whether a row
 // existed. The deleted version remains readable through GetAny.
 func (t *Table) Delete(k value.Key) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(k)
+}
+
+func (t *Table) deleteLocked(k value.Key) bool {
 	slot, ok := t.pk[k]
 	if !ok {
 		return false
@@ -203,17 +237,22 @@ func (t *Table) Delete(k value.Key) bool {
 // row is gone. Join-path evaluation uses it so tuples referenced by a
 // trace stay resolvable after workload execution deleted them.
 func (t *Table) GetAny(k value.Key) (value.Tuple, bool) {
-	if row, ok := t.Get(k); ok {
-		return row, true
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if slot, ok := t.pk[k]; ok {
+		return t.rows[slot], true
 	}
 	row, ok := t.graveyard[k]
 	return row, ok
 }
 
 // Scan calls fn for every live row with its primary key. fn returning
-// false stops the scan.
+// false stops the scan. fn runs under the table's read lock: it must not
+// mutate the table it is scanning.
 func (t *Table) Scan(fn func(k value.Key, row value.Tuple) bool) {
 	cTableScans.Inc()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for k, slot := range t.pk {
 		if !fn(k, t.rows[slot]) {
 			return
@@ -225,12 +264,56 @@ func (t *Table) Scan(fn func(k value.Key, row value.Tuple) bool) {
 // order. The deterministic order matters: workload generators sample from
 // it, and map-iteration order would make traces differ between runs.
 func (t *Table) Keys() []value.Key {
+	t.mu.RLock()
 	out := make([]value.Key, 0, len(t.pk))
 	for k := range t.pk {
 		out = append(out, k)
 	}
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Touch records one committed write to the tuple identified by k,
+// incrementing its version counter, and returns the new version. The key
+// need not identify a live row: the durable stores of the 2PC chaos
+// replay hold versions only. Touch is the redo-apply target of WAL touch
+// records, so its effect must be (and is) a pure function of the number
+// of touches applied.
+func (t *Table) Touch(k value.Key) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.touchLocked(k)
+}
+
+func (t *Table) touchLocked(k value.Key) uint64 {
+	if t.versions == nil {
+		t.versions = make(map[value.Key]uint64)
+	}
+	t.versions[k]++
+	cTouches.Inc()
+	return t.versions[k]
+}
+
+// untouch reverses one Touch (the Tx undo path).
+func (t *Table) untouch(k value.Key) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.versions == nil {
+		return
+	}
+	if t.versions[k] <= 1 {
+		delete(t.versions, k)
+		return
+	}
+	t.versions[k]--
+}
+
+// Version returns the committed write count of k (0 when never touched).
+func (t *Table) Version(k value.Key) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.versions[k]
 }
 
 // ColumnValue projects the named column from a row of this table.
@@ -243,10 +326,27 @@ func (t *Table) ColumnValue(row value.Tuple, col string) (value.Value, error) {
 }
 
 // LookupBy returns the primary keys of rows whose col equals v, using a
-// lazily built (and thereafter maintained) secondary hash index.
+// lazily built (and thereafter maintained) secondary hash index. The fast
+// path (index already built) runs under the read lock; the first lookup
+// per column upgrades to the write lock to build the index.
 func (t *Table) LookupBy(col string, v value.Value) []value.Key {
-	idx := t.secondaryIndex(col)
-	slots := idx[v]
+	t.mu.RLock()
+	if idx, ok := t.sec[col]; ok {
+		out := t.keysForSlots(idx[v])
+		t.mu.RUnlock()
+		return out
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.secondaryIndexLocked(col)
+	return t.keysForSlots(idx[v])
+}
+
+// keysForSlots projects primary keys from row slots; the caller holds at
+// least the read lock.
+func (t *Table) keysForSlots(slots []int) []value.Key {
 	out := make([]value.Key, 0, len(slots))
 	for _, slot := range slots {
 		out = append(out, t.PKOf(t.rows[slot]))
@@ -254,7 +354,7 @@ func (t *Table) LookupBy(col string, v value.Value) []value.Key {
 	return out
 }
 
-func (t *Table) secondaryIndex(col string) map[value.Value][]int {
+func (t *Table) secondaryIndexLocked(col string) map[value.Value][]int {
 	if t.sec == nil {
 		t.sec = make(map[string]map[value.Value][]int)
 	}

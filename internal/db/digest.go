@@ -1,0 +1,214 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// ErrSnapshot is wrapped by every snapshot-decoding failure (corrupt
+// checkpoint payloads in a WAL must error, never panic).
+var ErrSnapshot = errors.New("db: malformed snapshot")
+
+// snapshotMagic pins the checkpoint format; bump the trailing digit on
+// incompatible changes.
+const snapshotMagic = "JSNP1"
+
+// Digest returns a deterministic 64-bit digest of the table's durable
+// state: FNV-1a over the live rows (sorted by primary key, each with its
+// unambiguous value encoding) and the Touch version counters (sorted by
+// key). Two tables have equal digests iff they hold the same rows and the
+// same committed write counts — the byte-for-byte contract the
+// consistency oracle asserts after crash recovery. The graveyard and
+// index state are deliberately excluded: they are tracing conveniences,
+// not durable state.
+func (t *Table) Digest() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := fnv.New64a()
+	var buf []byte
+
+	keys := make([]value.Key, 0, len(t.pk))
+	for k := range t.pk {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		buf = buf[:0]
+		buf = append(buf, 'R')
+		buf = appendBytes(buf, []byte(k))
+		row := t.rows[t.pk[k]]
+		var enc []byte
+		for _, v := range row {
+			enc = v.Encode(enc)
+		}
+		buf = appendBytes(buf, enc)
+		h.Write(buf)
+	}
+
+	vkeys := make([]value.Key, 0, len(t.versions))
+	for k := range t.versions {
+		vkeys = append(vkeys, k)
+	}
+	sort.Slice(vkeys, func(i, j int) bool { return vkeys[i] < vkeys[j] })
+	for _, k := range vkeys {
+		buf = buf[:0]
+		buf = append(buf, 'V')
+		buf = appendBytes(buf, []byte(k))
+		buf = appendUvarint(buf, t.versions[k])
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// TableDigests returns the per-table digests of the whole database, keyed
+// by table name.
+func (d *DB) TableDigests() map[string]uint64 {
+	out := make(map[string]uint64, len(d.tables))
+	for name, t := range d.tables {
+		out[name] = t.Digest()
+	}
+	return out
+}
+
+// EncodeSnapshot serializes the database's durable state (live rows and
+// version counters of every table, sorted for determinism) — the payload
+// of a WAL CHECKPOINT record. The same state always encodes to the same
+// bytes.
+func (d *DB) EncodeSnapshot() []byte {
+	names := make([]string, 0, len(d.tables))
+	for name := range d.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := []byte(snapshotMagic)
+	out = appendUvarint(out, uint64(len(names)))
+	for _, name := range names {
+		t := d.tables[name]
+		t.mu.RLock()
+		out = appendString(out, name)
+
+		keys := make([]value.Key, 0, len(t.pk))
+		for k := range t.pk {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out = appendUvarint(out, uint64(len(keys)))
+		for _, k := range keys {
+			var enc []byte
+			for _, v := range t.rows[t.pk[k]] {
+				enc = v.Encode(enc)
+			}
+			out = appendBytes(out, enc)
+		}
+
+		vkeys := make([]value.Key, 0, len(t.versions))
+		for k := range t.versions {
+			vkeys = append(vkeys, k)
+		}
+		sort.Slice(vkeys, func(i, j int) bool { return vkeys[i] < vkeys[j] })
+		out = appendUvarint(out, uint64(len(vkeys)))
+		for _, k := range vkeys {
+			out = appendBytes(out, []byte(k))
+			out = appendUvarint(out, t.versions[k])
+		}
+		t.mu.RUnlock()
+	}
+	return out
+}
+
+func snapErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshot, fmt.Sprintf(format, args...))
+}
+
+// DecodeSnapshot rebuilds a database from a snapshot produced by
+// EncodeSnapshot, validated against the schema. All failures wrap
+// ErrSnapshot; the function never panics on corrupt input.
+func DecodeSnapshot(sc *schema.Schema, data []byte) (*DB, error) {
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, snapErrf("bad magic")
+	}
+	dec := &opDecoder{b: data[len(snapshotMagic):]}
+	d := New(sc)
+	ntables, err := dec.uvarint()
+	if err != nil {
+		return nil, snapErrf("table count: %v", err)
+	}
+	if ntables > uint64(len(dec.b)) {
+		return nil, snapErrf("table count %d exceeds remaining bytes", ntables)
+	}
+	for i := uint64(0); i < ntables; i++ {
+		nameB, err := dec.bytes()
+		if err != nil {
+			return nil, snapErrf("table %d name: %v", i, err)
+		}
+		t := d.Table(string(nameB))
+		if t == nil {
+			return nil, snapErrf("table %q not in schema", nameB)
+		}
+		nrows, err := dec.uvarint()
+		if err != nil {
+			return nil, snapErrf("%s: row count: %v", nameB, err)
+		}
+		if nrows > uint64(len(dec.b)) {
+			return nil, snapErrf("%s: row count %d exceeds remaining bytes", nameB, nrows)
+		}
+		for r := uint64(0); r < nrows; r++ {
+			enc, err := dec.bytes()
+			if err != nil {
+				return nil, snapErrf("%s: row %d: %v", nameB, r, err)
+			}
+			vals, err := value.DecodeKey(value.Key(enc))
+			if err != nil {
+				return nil, snapErrf("%s: row %d: %v", nameB, r, err)
+			}
+			if len(vals) != len(t.meta.Columns) {
+				return nil, snapErrf("%s: row %d: arity %d, want %d",
+					nameB, r, len(vals), len(t.meta.Columns))
+			}
+			if _, err := t.Insert(value.Tuple(vals)); err != nil {
+				return nil, snapErrf("%s: row %d: %v", nameB, r, err)
+			}
+		}
+		nvers, err := dec.uvarint()
+		if err != nil {
+			return nil, snapErrf("%s: version count: %v", nameB, err)
+		}
+		if nvers > uint64(len(dec.b)) {
+			return nil, snapErrf("%s: version count %d exceeds remaining bytes", nameB, nvers)
+		}
+		for v := uint64(0); v < nvers; v++ {
+			key, err := dec.bytes()
+			if err != nil {
+				return nil, snapErrf("%s: version key %d: %v", nameB, v, err)
+			}
+			ver, err := dec.uvarint()
+			if err != nil {
+				return nil, snapErrf("%s: version %d: %v", nameB, v, err)
+			}
+			t.setVersion(value.Key(key), ver)
+		}
+	}
+	if len(dec.b) != 0 {
+		return nil, snapErrf("%d trailing bytes", len(dec.b))
+	}
+	return d, nil
+}
+
+// setVersion installs a version counter directly (snapshot decode only).
+func (t *Table) setVersion(k value.Key, v uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v == 0 {
+		return
+	}
+	if t.versions == nil {
+		t.versions = make(map[value.Key]uint64)
+	}
+	t.versions[k] = v
+}

@@ -1,0 +1,101 @@
+package db
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDigestDeterministicAndStateSensitive(t *testing.T) {
+	d1 := loadFigure1(t)
+	d2 := loadFigure1(t)
+	tr1, tr2 := d1.Table("TRADE"), d2.Table("TRADE")
+	if tr1.Digest() != tr2.Digest() {
+		t.Fatal("identical tables digest differently")
+	}
+	k := value.MakeKey(value.NewInt(1))
+	tr2.Touch(k)
+	if tr1.Digest() == tr2.Digest() {
+		t.Error("touch did not change digest")
+	}
+	tr1.Touch(k)
+	if tr1.Digest() != tr2.Digest() {
+		t.Error("same touch history digests differently")
+	}
+	if err := tr2.Update(k, []string{"T_QTY"}, []value.Value{value.NewInt(1234)}); err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Digest() == tr2.Digest() {
+		t.Error("row update did not change digest")
+	}
+}
+
+func TestDigestIgnoresGraveyardAndIndexes(t *testing.T) {
+	d1 := loadFigure1(t)
+	d2 := loadFigure1(t)
+	// Build a secondary index and a graveyard entry on d2 only, then
+	// restore the row: durable state is identical, digests must match.
+	tr2 := d2.Table("TRADE")
+	_ = tr2.LookupBy("T_CA_ID", value.NewInt(1))
+	k := value.MakeKey(value.NewInt(2))
+	row, _ := tr2.Get(k)
+	saved := row.Clone()
+	tr2.Delete(k)
+	if _, err := tr2.Insert(saved); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Table("TRADE").Digest() != tr2.Digest() {
+		t.Error("graveyard/index state leaked into digest")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	tr.Touch(value.MakeKey(value.NewInt(3)))
+	tr.Touch(value.MakeKey(value.NewInt(3)))
+	tr.Touch(value.MakeKey(value.NewInt(5)))
+	// A version entry for a key with no live row (pure durable-store use).
+	d.Table("HOLDING_SUMMARY").Touch(value.MakeKey(value.NewString("GHOST"), value.NewInt(0)))
+
+	enc := d.EncodeSnapshot()
+	if string(enc) != string(d.EncodeSnapshot()) {
+		t.Fatal("snapshot encoding not deterministic")
+	}
+	got, err := DecodeSnapshot(d.Schema(), enc)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	want, have := d.TableDigests(), got.TableDigests()
+	for name, dg := range want {
+		if have[name] != dg {
+			t.Errorf("table %s: decoded digest %x, want %x", name, have[name], dg)
+		}
+	}
+	if got.TotalRows() != d.TotalRows() {
+		t.Errorf("decoded rows = %d, want %d", got.TotalRows(), d.TotalRows())
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	d := loadFigure1(t)
+	enc := d.EncodeSnapshot()
+	cases := [][]byte{
+		nil,
+		[]byte("JUNK!"),
+		enc[:len(enc)/2],
+		append(append([]byte{}, enc...), 0x01),
+	}
+	for i, c := range cases {
+		if _, err := DecodeSnapshot(d.Schema(), c); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("case %d: err = %v, want ErrSnapshot", i, err)
+		}
+	}
+	// Every truncation must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeSnapshot(d.Schema(), enc[:i]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package db
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestTxCommitAppliesAllOps(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+
+	tx := d.Begin()
+	if err := tx.Insert("TRADE", value.Tuple{value.NewInt(100), value.NewInt(1), value.NewInt(9)}); err != nil {
+		t.Fatalf("stage insert: %v", err)
+	}
+	k5 := value.MakeKey(value.NewInt(5))
+	if err := tx.Update("TRADE", k5, []string{"T_QTY"}, []value.Value{value.NewInt(42)}); err != nil {
+		t.Fatalf("stage update: %v", err)
+	}
+	k2 := value.MakeKey(value.NewInt(2))
+	if err := tx.Delete("TRADE", k2); err != nil {
+		t.Fatalf("stage delete: %v", err)
+	}
+	if err := tx.Touch("TRADE", k5); err != nil {
+		t.Fatalf("stage touch: %v", err)
+	}
+	// Staged writes are invisible pre-commit.
+	if _, ok := tr.Get(value.MakeKey(value.NewInt(100))); ok {
+		t.Fatal("staged insert visible before commit")
+	}
+	if tr.Version(k5) != 0 {
+		t.Fatal("staged touch visible before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, ok := tr.Get(value.MakeKey(value.NewInt(100))); !ok {
+		t.Error("committed insert missing")
+	}
+	row, _ := tr.Get(k5)
+	if row[2].Int() != 42 {
+		t.Errorf("committed update: qty = %v", row[2])
+	}
+	if _, ok := tr.Get(k2); ok {
+		t.Error("committed delete left row")
+	}
+	if tr.Version(k5) != 1 {
+		t.Errorf("committed touch: version = %d", tr.Version(k5))
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+}
+
+func TestTxAbortLeavesNoObservableWrites(t *testing.T) {
+	d := loadFigure1(t)
+	before := d.TableDigests()
+
+	tx := d.Begin()
+	k1 := value.MakeKey(value.NewInt(1))
+	_ = tx.Insert("TRADE", value.Tuple{value.NewInt(200), value.NewInt(7), value.NewInt(1)})
+	_ = tx.Update("TRADE", k1, []string{"T_QTY"}, []value.Value{value.NewInt(99)})
+	_ = tx.Delete("TRADE", k1)
+	_ = tx.Touch("HOLDING_SUMMARY", k1)
+	tx.Abort()
+
+	after := d.TableDigests()
+	for name, dg := range before {
+		if after[name] != dg {
+			t.Errorf("table %s digest changed across abort: %x -> %x", name, dg, after[name])
+		}
+	}
+	if err := tx.Touch("TRADE", k1); !errors.Is(err, ErrTxDone) {
+		t.Errorf("staging after abort: %v", err)
+	}
+}
+
+func TestTxCommitRollsBackOnConflict(t *testing.T) {
+	d := loadFigure1(t)
+	before := d.TableDigests()
+
+	tx := d.Begin()
+	k3 := value.MakeKey(value.NewInt(3))
+	// First ops succeed, the duplicate-key insert fails: everything must
+	// roll back, including graveyard side effects of the delete.
+	_ = tx.Touch("TRADE", k3)
+	_ = tx.Update("TRADE", k3, []string{"T_QTY"}, []value.Value{value.NewInt(77)})
+	_ = tx.Delete("TRADE", value.MakeKey(value.NewInt(4)))
+	_ = tx.Insert("TRADE", value.Tuple{value.NewInt(1), value.NewInt(1), value.NewInt(1)}) // dup PK
+	err := tx.Commit()
+	if err == nil {
+		t.Fatal("commit with duplicate key succeeded")
+	}
+	after := d.TableDigests()
+	for name, dg := range before {
+		if after[name] != dg {
+			t.Errorf("table %s digest changed across failed commit: %x -> %x", name, dg, after[name])
+		}
+	}
+	// The undone delete must not have planted a graveyard entry.
+	if _, ok := d.Table("TRADE").GetAny(value.MakeKey(value.NewInt(4))); !ok {
+		t.Error("row 4 unreachable after rollback")
+	}
+	if got, _ := d.Table("TRADE").Get(value.MakeKey(value.NewInt(4))); got == nil {
+		t.Error("row 4 not live after rollback")
+	}
+}
+
+func TestTxStageValidation(t *testing.T) {
+	d := loadFigure1(t)
+	tx := d.Begin()
+	if err := tx.Insert("NOPE", value.Tuple{}); err == nil {
+		t.Error("staging into unknown table succeeded")
+	}
+	if err := tx.Insert("TRADE", value.Tuple{value.NewInt(1)}); err == nil {
+		t.Error("staging arity-mismatched insert succeeded")
+	}
+	if err := tx.Insert("TRADE", value.Tuple{value.NewString("x"), value.NewInt(1), value.NewInt(1)}); err == nil {
+		t.Error("staging type-mismatched insert succeeded")
+	}
+	if err := tx.Update("TRADE", "k", []string{"a", "b"}, []value.Value{value.NewInt(1)}); err == nil {
+		t.Error("staging arity-mismatched update succeeded")
+	}
+}
+
+func TestOpEncodeDecodeRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Table: "TRADE", Row: value.Tuple{value.NewInt(3), value.NewInt(-1), value.NewInt(0)}},
+		{Kind: OpUpdate, Table: "T", Key: value.MakeKey(value.NewInt(7)),
+			Cols: []string{"A", "B"}, Vals: []value.Value{value.NewString("x"), value.NewFloat(1.5)}},
+		{Kind: OpDelete, Table: "HS", Key: value.MakeKey(value.NewString("sym"), value.NewInt(2))},
+		{Kind: OpTouch, Table: "", Key: value.MakeKey(value.NewNull())},
+	}
+	for _, op := range ops {
+		enc := op.Encode(nil)
+		got, err := DecodeOp(enc)
+		if err != nil {
+			t.Fatalf("DecodeOp(%s): %v", op, err)
+		}
+		if got.String() != op.String() || got.Kind != op.Kind || got.Table != op.Table || got.Key != op.Key {
+			t.Errorf("round trip: got %s, want %s", got, op)
+		}
+		// Truncations must error (never panic).
+		for i := 0; i < len(enc); i++ {
+			if _, err := DecodeOp(enc[:i]); !errors.Is(err, ErrOpDecode) {
+				t.Errorf("DecodeOp(%s[:%d]) = %v, want ErrOpDecode", op, i, err)
+			}
+		}
+	}
+	if _, err := DecodeOp([]byte{0xff, 0x00}); !errors.Is(err, ErrOpDecode) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	if _, err := DecodeOp(append(ops[2].Encode(nil), 0x01)); !errors.Is(err, ErrOpDecode) {
+		t.Errorf("trailing bytes: %v", err)
+	}
+}
+
+func TestApplyRedo(t *testing.T) {
+	d := loadFigure1(t)
+	k1 := value.MakeKey(value.NewInt(1))
+	if err := d.Apply(Op{Kind: OpTouch, Table: "TRADE", Key: k1}); err != nil {
+		t.Fatalf("apply touch: %v", err)
+	}
+	if d.Table("TRADE").Version(k1) != 1 {
+		t.Error("touch not applied")
+	}
+	// Redo insert over an existing key replaces the row.
+	if err := d.Apply(Op{Kind: OpInsert, Table: "TRADE",
+		Row: value.Tuple{value.NewInt(1), value.NewInt(8), value.NewInt(5)}}); err != nil {
+		t.Fatalf("apply insert-overwrite: %v", err)
+	}
+	row, _ := d.Table("TRADE").Get(k1)
+	if row[1].Int() != 8 {
+		t.Errorf("insert-overwrite: row = %v", row)
+	}
+	if err := d.Apply(Op{Kind: OpDelete, Table: "TRADE", Key: value.MakeKey(value.NewInt(999))}); err == nil {
+		t.Error("apply delete of missing key succeeded")
+	}
+	if err := d.Apply(Op{Kind: OpTouch, Table: "NOPE", Key: k1}); err == nil {
+		t.Error("apply against unknown table succeeded")
+	}
+}

@@ -58,6 +58,57 @@ func (w Window) covers(t float64) bool {
 	return t >= w.Start && (w.permanent() || t < w.End)
 }
 
+// The 2PC crash-point phases (see DESIGN.md, "Crash points & the 2PC
+// state machine"). They name the instant inside a distributed commit at
+// which the scripted node dies:
+//
+//	before-prepare   the node crashes before writing its PREPARE record;
+//	                 the coordinator aborts the round and the crashed
+//	                 node's log is left with an unprepared (presumed
+//	                 abort) transaction and a torn tail.
+//	before-commit    the node (as coordinator) crashes after every
+//	                 participant prepared but before logging the commit
+//	                 decision: all participants are left in doubt, and
+//	                 presumed abort resolves the transaction as aborted.
+//	after-decision   the node (as coordinator) crashes after durably
+//	                 logging COMMIT but before the participants commit:
+//	                 the transaction IS committed, participants are left
+//	                 in doubt, and resolution replays it from their
+//	                 prepared writes.
+const (
+	PhaseBeforePrepare = "before-prepare"
+	PhaseBeforeCommit  = "before-commit"
+	PhaseAfterDecision = "after-decision"
+)
+
+// CrashPhases lists the valid crash-point phases.
+func CrashPhases() []string {
+	return []string{PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision}
+}
+
+// CrashPoint scripts one mid-2PC node crash in the durable replay. The
+// point fires on the Seq-th (1-based) distributed commit round that
+// qualifies: for before-prepare, any round Node participates in; for
+// before-commit and after-decision, a round Node coordinates. The
+// analytic chaos replay (sim.RunChaos) ignores crash points — they only
+// have meaning where a real 2PC state machine executes
+// (sim.RunChaosDurable).
+type CrashPoint struct {
+	Node  int    `json:"node"`
+	Phase string `json:"phase"`
+	Seq   int    `json:"seq"`
+}
+
+// validPhase reports whether the phase names a defined crash point.
+func validPhase(p string) bool {
+	switch p {
+	case PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision:
+		return true
+	default:
+		return false
+	}
+}
+
 // Scenario is a scripted failure schedule. All times are virtual seconds
 // from the start of the replay; probabilities are per message attempt.
 type Scenario struct {
@@ -76,6 +127,9 @@ type Scenario struct {
 	LatencySpikeProb float64 `json:"latency_spike_prob,omitempty"`
 	// LatencySpikeSec is the spike magnitude in virtual seconds.
 	LatencySpikeSec float64 `json:"latency_spike_sec,omitempty"`
+	// CrashPoints scripts mid-2PC crashes for the durable replay; the
+	// analytic replay ignores them.
+	CrashPoints []CrashPoint `json:"crash_points,omitempty"`
 }
 
 // Validate checks the scenario against a cluster of k nodes (k <= 0 skips
@@ -115,6 +169,20 @@ func (sc *Scenario) Validate(k int) error {
 	if sc.LatencySpikeSec < 0 || math.IsNaN(sc.LatencySpikeSec) || math.IsInf(sc.LatencySpikeSec, 0) {
 		return scenarioErrorf("latency_spike_sec %v negative or non-finite", sc.LatencySpikeSec)
 	}
+	for i, cp := range sc.CrashPoints {
+		if cp.Node < 0 {
+			return scenarioErrorf("crash point %d: negative node %d", i, cp.Node)
+		}
+		if k > 0 && cp.Node >= k {
+			return scenarioErrorf("crash point %d: node %d out of range [0,%d)", i, cp.Node, k)
+		}
+		if !validPhase(cp.Phase) {
+			return scenarioErrorf("crash point %d: unknown phase %q (have: %v)", i, cp.Phase, CrashPhases())
+		}
+		if cp.Seq < 1 {
+			return scenarioErrorf("crash point %d: seq %d < 1", i, cp.Seq)
+		}
+	}
 	return nil
 }
 
@@ -126,13 +194,14 @@ func (sc *Scenario) String() string {
 			perm++
 		}
 	}
-	return fmt.Sprintf("scenario %q: %d crash windows (%d permanent), loss %.2g, spike %.2g×%.3fs",
-		sc.Name, len(sc.Crashes), perm, sc.MsgLossProb, sc.LatencySpikeProb, sc.LatencySpikeSec)
+	return fmt.Sprintf("scenario %q: %d crash windows (%d permanent), %d crash points, loss %.2g, spike %.2g×%.3fs",
+		sc.Name, len(sc.Crashes), perm, len(sc.CrashPoints), sc.MsgLossProb, sc.LatencySpikeProb, sc.LatencySpikeSec)
 }
 
 // BuiltinNames lists the scenarios Builtin understands, sorted.
 func BuiltinNames() []string {
-	out := []string{"none", "single-crash", "rolling", "flaky-network", "half-down"}
+	out := []string{"none", "single-crash", "rolling", "flaky-network", "half-down",
+		"part-crash", "prep-crash", "coord-crash"}
 	sort.Strings(out)
 	return out
 }
@@ -144,6 +213,12 @@ func BuiltinNames() []string {
 //	rolling       each node down for 1.5s in sequence, staggered 1s apart
 //	flaky-network no crashes; 2% message loss, 10% latency spikes of 20ms
 //	half-down     the upper half of the cluster permanently crashes at t=2
+//	part-crash    a participant dies before writing PREPARE on its 2nd
+//	              distributed round (presumed abort, torn tail)
+//	prep-crash    the coordinator dies after all participants prepared but
+//	              before logging the decision (everyone in doubt → abort)
+//	coord-crash   the coordinator dies after durably logging COMMIT but
+//	              before the participants commit (in doubt → replayed)
 func Builtin(name string, k int) (*Scenario, error) {
 	if k <= 0 {
 		return nil, scenarioErrorf("builtin %q: k=%d", name, k)
@@ -168,6 +243,16 @@ func Builtin(name string, k int) (*Scenario, error) {
 		for n := k / 2; n < k; n++ {
 			sc.Crashes = append(sc.Crashes, Window{Node: n, Start: 2})
 		}
+	case "part-crash":
+		n := 1
+		if n >= k {
+			n = k - 1
+		}
+		sc.CrashPoints = []CrashPoint{{Node: n, Phase: PhaseBeforePrepare, Seq: 5}}
+	case "prep-crash":
+		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhaseBeforeCommit, Seq: 10}}
+	case "coord-crash":
+		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhaseAfterDecision, Seq: 10}}
 	default:
 		return nil, scenarioErrorf("unknown builtin %q (have: %v)", name, BuiltinNames())
 	}
@@ -191,6 +276,30 @@ var AllUp Health = allUp{}
 type allUp struct{}
 
 func (allUp) Down(int) bool { return false }
+
+// NodeSet is a Health over an explicit set of down nodes — the durable
+// replay's view of crashed and in-doubt partitions, and the router tests'
+// hand-built health snapshots.
+type NodeSet map[int]bool
+
+// Down reports whether the node is in the set.
+func (s NodeSet) Down(node int) bool { return s[node] }
+
+// Overlay combines health views: a node is down if ANY layer reports it
+// down. It lets the durable replay stack scripted crash windows under the
+// crash-point outages and in-doubt blocks it accumulates at runtime.
+func Overlay(hs ...Health) Health { return overlay(hs) }
+
+type overlay []Health
+
+func (o overlay) Down(node int) bool {
+	for _, h := range o {
+		if h != nil && h.Down(node) {
+			return true
+		}
+	}
+	return false
+}
 
 // Injector realizes a Scenario against a k-node cluster with a seeded
 // random source. All stochastic samples (message loss, latency spikes,

@@ -306,3 +306,65 @@ func FuzzParseScenario(f *testing.F) {
 		}
 	})
 }
+
+func TestCrashPointValidation(t *testing.T) {
+	bad := []*Scenario{
+		{CrashPoints: []CrashPoint{{Node: -1, Phase: PhaseBeforePrepare, Seq: 1}}},
+		{CrashPoints: []CrashPoint{{Node: 9, Phase: PhaseBeforeCommit, Seq: 1}}},
+		{CrashPoints: []CrashPoint{{Node: 0, Phase: "mid-flight", Seq: 1}}},
+		{CrashPoints: []CrashPoint{{Node: 0, Phase: PhaseAfterDecision, Seq: 0}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(4); !errors.Is(err, ErrScenario) {
+			t.Errorf("case %d: Validate = %v, want ErrScenario", i, err)
+		}
+	}
+	ok := &Scenario{CrashPoints: []CrashPoint{
+		{Node: 3, Phase: PhaseBeforePrepare, Seq: 1},
+		{Node: 0, Phase: PhaseAfterDecision, Seq: 7},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid crash points rejected: %v", err)
+	}
+	if got := CrashPhases(); len(got) != 3 {
+		t.Errorf("CrashPhases = %v", got)
+	}
+}
+
+func TestCrashBuiltinsScriptPoints(t *testing.T) {
+	for name, phase := range map[string]string{
+		"part-crash":  PhaseBeforePrepare,
+		"prep-crash":  PhaseBeforeCommit,
+		"coord-crash": PhaseAfterDecision,
+	} {
+		sc, err := Builtin(name, 4)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", name, err)
+		}
+		if len(sc.CrashPoints) != 1 || sc.CrashPoints[0].Phase != phase {
+			t.Errorf("%s crash points = %+v, want one %s", name, sc.CrashPoints, phase)
+		}
+	}
+	// part-crash targets a non-coordinator node when the cluster has one,
+	// and stays in range on a single-node cluster.
+	sc, _ := Builtin("part-crash", 1)
+	if sc.CrashPoints[0].Node != 0 {
+		t.Errorf("part-crash on k=1 targets node %d", sc.CrashPoints[0].Node)
+	}
+}
+
+func TestNodeSetAndOverlay(t *testing.T) {
+	s := NodeSet{1: true, 3: true}
+	if s.Down(0) || !s.Down(1) || s.Down(2) || !s.Down(3) {
+		t.Errorf("NodeSet membership wrong: %v", s)
+	}
+	h := Overlay(AllUp, nil, s, NodeSet{2: true})
+	for n, want := range map[int]bool{0: false, 1: true, 2: true, 3: true, 4: false} {
+		if h.Down(n) != want {
+			t.Errorf("overlay.Down(%d) = %v, want %v", n, h.Down(n), want)
+		}
+	}
+	if Overlay().Down(0) {
+		t.Error("empty overlay must report all up")
+	}
+}

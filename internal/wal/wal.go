@@ -1,0 +1,245 @@
+// Package wal is the per-partition binary write-ahead log of the durable
+// execution layer. Each partition of the simulated cluster appends
+// BEGIN/WRITE/PREPARE/COMMIT/ABORT/CHECKPOINT records to its own log;
+// recovery (recover.go) rebuilds the partition's store from the latest
+// checkpoint plus the committed suffix, and resolves transactions left
+// in doubt by a crash between prepare and commit with the presumed-abort
+// rule.
+//
+// Record framing (little-endian):
+//
+//	uint32 length   — byte length of the body
+//	uint32 crc      — CRC-32 (IEEE) of the body
+//	body            — [type byte][uvarint txn id][payload]
+//
+// WRITE payloads carry one encoded db.Op; PREPARE payloads carry the
+// uvarint coordinator partition id (so a log is self-contained for
+// presumed-abort resolution); CHECKPOINT payloads carry a db snapshot.
+// BEGIN/COMMIT/ABORT have empty payloads.
+//
+// The reader is tolerant of torn tails by construction: a crash can cut a
+// log anywhere, so Parse returns the longest valid record prefix together
+// with a typed error classifying the cut (ErrTornTail for a truncated
+// frame, ErrCorrupt for a CRC mismatch or malformed body). It never
+// panics on arbitrary bytes — the FuzzWALReplay target pins that.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Registry metrics (see DESIGN.md, "Metric reference").
+var (
+	cRecordsAppended = obs.Default.Counter("wal.records_appended")
+	cCheckpoints     = obs.Default.Counter("wal.checkpoints_written")
+	cTornTails       = obs.Default.Counter("wal.torn_tails_detected")
+)
+
+// Typed log-integrity errors; callers classify with errors.Is.
+var (
+	// ErrTornTail marks a log whose final frame is incomplete — the
+	// normal shape of a crash mid-append. The parsed prefix is valid.
+	ErrTornTail = errors.New("wal: torn tail")
+	// ErrCorrupt marks a frame whose CRC does not match its body, or a
+	// body that does not decode (bad type byte, malformed txn id).
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// RecType enumerates the record types. The zero value is invalid so an
+// all-zero frame never parses as a valid record.
+type RecType uint8
+
+// The record types.
+const (
+	RecBegin RecType = iota + 1
+	RecWrite
+	RecPrepare
+	RecCommit
+	RecAbort
+	RecCheckpoint
+)
+
+// String returns the record-type name.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecWrite:
+		return "WRITE"
+	case RecPrepare:
+		return "PREPARE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("rec(%d)", uint8(t))
+	}
+}
+
+func (t RecType) valid() bool { return t >= RecBegin && t <= RecCheckpoint }
+
+// Record is one decoded log record.
+type Record struct {
+	Type    RecType
+	Txn     uint64
+	Payload []byte
+}
+
+const frameHeader = 8 // uint32 length + uint32 crc
+
+// EncodeRecord appends the framed encoding of one record to dst.
+func EncodeRecord(dst []byte, typ RecType, txn uint64, payload []byte) []byte {
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
+	body = append(body, byte(typ))
+	body = binary.AppendUvarint(body, txn)
+	body = append(body, payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...)
+}
+
+// Parse decodes the longest valid record prefix of data. It returns the
+// records, the byte length of the clean prefix, and nil when the data
+// ends exactly on a record boundary — otherwise a typed error
+// (ErrTornTail, ErrCorrupt) describing the first bad frame. Parse never
+// panics, whatever the input.
+func Parse(data []byte) ([]Record, int64, error) {
+	var recs []Record
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return recs, off, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrTornTail, len(rest), off)
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 {
+			return recs, off, fmt.Errorf("%w: zero-length frame at offset %d", ErrCorrupt, off)
+		}
+		if uint64(n) > uint64(len(rest)-frameHeader) {
+			return recs, off, fmt.Errorf("%w: frame of %d bytes at offset %d, %d available",
+				ErrTornTail, n, off, len(rest)-frameHeader)
+		}
+		body := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(body) != crc {
+			return recs, off, fmt.Errorf("%w: crc mismatch at offset %d", ErrCorrupt, off)
+		}
+		typ := RecType(body[0])
+		if !typ.valid() {
+			return recs, off, fmt.Errorf("%w: bad record type %d at offset %d", ErrCorrupt, body[0], off)
+		}
+		txn, w := binary.Uvarint(body[1:])
+		if w <= 0 {
+			return recs, off, fmt.Errorf("%w: bad txn id at offset %d", ErrCorrupt, off)
+		}
+		recs = append(recs, Record{Type: typ, Txn: txn, Payload: body[1+w:]})
+		off += frameHeader + int64(n)
+	}
+	return recs, off, nil
+}
+
+// ParseFile reads and parses a log file. A missing file is an empty log.
+func ParseFile(path string) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	return Parse(data)
+}
+
+// Log is an append-only record writer backed by a file. Appends are
+// written through immediately (the simulated crash model treats every
+// completed Append as durable); AppendTorn cuts a frame short to model a
+// crash mid-append.
+type Log struct {
+	path string
+	f    *os.File
+	n    int64
+}
+
+// Create truncates/creates the log file at path.
+func Create(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{path: path, f: f}, nil
+}
+
+// OpenAt opens the log for appending after truncating it to cleanLen —
+// the recovery path: the torn tail (if any) is discarded before
+// resolution records are appended.
+func OpenAt(path string, cleanLen int64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(cleanLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(cleanLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{path: path, f: f, n: cleanLen}, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Bytes returns the number of bytes written (the durable log length).
+func (l *Log) Bytes() int64 { return l.n }
+
+// Append writes one framed record.
+func (l *Log) Append(typ RecType, txn uint64, payload []byte) error {
+	frame := EncodeRecord(nil, typ, txn, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append %s: %w", typ, err)
+	}
+	l.n += int64(len(frame))
+	cRecordsAppended.Inc()
+	if typ == RecCheckpoint {
+		cCheckpoints.Inc()
+	}
+	return nil
+}
+
+// AppendTorn writes only the first keep bytes of the record's frame,
+// modeling a crash that cut the append short. keep is clamped to
+// [1, frameLen-1] so the tail is always genuinely torn.
+func (l *Log) AppendTorn(typ RecType, txn uint64, payload []byte, keep int) error {
+	frame := EncodeRecord(nil, typ, txn, payload)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= len(frame) {
+		keep = len(frame) - 1
+	}
+	if _, err := l.f.Write(frame[:keep]); err != nil {
+		return fmt.Errorf("wal: append torn %s: %w", typ, err)
+	}
+	l.n += int64(keep)
+	cTornTails.Inc()
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// PartitionLogPath names partition p's log inside dir.
+func PartitionLogPath(dir string, p int) string {
+	return fmt.Sprintf("%s/partition-%03d.wal", dir, p)
+}
