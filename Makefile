@@ -21,16 +21,24 @@ verify:
 	$(GO) test -race ./...
 
 # bench runs the micro-benchmarks (experiment-scale benches run via
-# `go test -bench=BenchmarkFigure7 -benchtime=1x` etc).
+# `go test -bench=BenchmarkFigure7 -benchtime=1x` etc), then the
+# parallel-search sweep: the full pipeline on TPC-C/SEATS and phases 2/3
+# in isolation, each at 1/2/8 workers.
 bench:
 	$(GO) test -bench='PathEval|Evaluate|GraphPartition|ValueHash' -benchmem -run=^$$ .
+	$(GO) test -bench='BenchmarkPartition' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Phase2|Phase3' -benchtime=1x -run=^$$ ./internal/core/
+	$(GO) test -bench='EvaluateParallel|NavCacheWarm' -benchmem -run=^$$ ./internal/eval/
 
 # bench-export writes BENCH_obs.json, the machine-readable perf
-# trajectory (ns/op, allocs/op, B/op per micro-benchmark), and
+# trajectory (ns/op, allocs/op, B/op per micro-benchmark),
 # BENCH_drift.json, the drift-adaptation quality record (post-drift
-# distributed fractions per controller, movement, swaps).
+# distributed fractions per controller, movement, swaps), and
+# BENCH_parallel.json, the parallel-search record (pipeline wall-clock at
+# Parallelism 1 vs 8, the speedup ratio, the host CPU count, and the
+# cross-worker-count solution byte-identity check).
 bench-export:
-	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport' -v .
+	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport|TestParallelBenchExport' -v .
 
 # experiments regenerates the paper's tables and figures at reduced
 # scales, with the phase trace and a metrics artifact.
@@ -71,4 +79,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=20s ./internal/wal/
 
 clean:
-	rm -f BENCH_obs.json BENCH_drift.json experiments_obs.json
+	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json experiments_obs.json

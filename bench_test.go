@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -185,7 +186,7 @@ func BenchmarkAblationIntraTable(b *testing.B) {
 	r := mustTPCERun(b)
 	for i := 0; i < b.N; i++ {
 		for _, intra := range []bool{false, true} {
-			sol, _, err := core.Partition(core.Input{
+			sol, _, err := core.Partition(context.Background(), core.Input{
 				DB: r.d, Procedures: workloads.Procedures(r.b), Train: r.train, Test: r.test,
 			}, core.Options{K: 8, IntraTableOnly: intra})
 			if err != nil {
@@ -210,7 +211,7 @@ func BenchmarkAblationKeepAllTrees(b *testing.B) {
 	r := mustTPCERun(b)
 	for i := 0; i < b.N; i++ {
 		for _, keep := range []bool{false, true} {
-			_, rep, err := core.Partition(core.Input{
+			_, rep, err := core.Partition(context.Background(), core.Input{
 				DB: r.d, Procedures: workloads.Procedures(r.b), Train: r.train, Test: r.test,
 			}, core.Options{K: 8, KeepAllTrees: keep})
 			if err != nil {
@@ -326,7 +327,7 @@ func BenchmarkJECBTPCE(b *testing.B) {
 	r := mustTPCERun(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.Partition(core.Input{
+		if _, _, err := core.Partition(context.Background(), core.Input{
 			DB: r.d, Procedures: workloads.Procedures(r.b), Train: r.train, Test: r.test,
 		}, core.Options{K: 8}); err != nil {
 			b.Fatal(err)

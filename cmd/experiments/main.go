@@ -28,10 +28,12 @@ func main() {
 		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos durability drift all)")
 		quick       = flag.Bool("quick", false, "reduced scales (~30s total)")
 		seed        = flag.Int64("seed", 1, "random seed")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the JECB search (0 = GOMAXPROCS); tables are identical for any value")
 		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
 		traceReport = flag.Bool("trace-report", false, "print the per-experiment span tree")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallelism)
 	ctx, tr := obs.WithTrace(context.Background(), "experiments")
 	err := run(ctx, *which, *quick, *seed)
 	tr.Finish()

@@ -96,6 +96,7 @@ func main() {
 		txns        = flag.Int("txns", 4000, "transactions to trace")
 		trainFrac   = flag.Float64("train", 0.5, "training fraction of the trace")
 		seed        = flag.Int64("seed", 1, "random seed")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the JECB search (0 = GOMAXPROCS); results are identical for any value")
 		verbose     = flag.Bool("v", false, "print the full report")
 		out         = flag.String("out", "", "write the solution as JSON to this file")
 		metricsOut  = flag.String("metrics", "", "write the obs metrics registry as JSON to this file")
@@ -117,7 +118,7 @@ func main() {
 	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario,
 		walDir: *walDir, recover: *recoverRun}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
-	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed,
+	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
 		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
@@ -126,7 +127,7 @@ func main() {
 
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
-func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64,
+func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int,
 	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
@@ -139,7 +140,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 	}
 
 	ctx, tr := obs.WithTrace(context.Background(), "jecb/run")
-	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co, do)
+	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do)
 	tr.Finish()
 	if err != nil {
 		return err
@@ -173,19 +174,19 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 // surface as an error with a stack trace instead of crashing the process
 // past the deferred artifact/metrics writers.
 func runRecovered(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64,
-	seed int64, verbose bool, co chaosOpts, do driftOpts) (sol *partition.Solution, err error) {
+	seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts) (sol *partition.Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
 			err = fmt.Errorf("internal error: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, verbose, co, do)
+	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do)
 }
 
 // run executes the pipeline — load, trace, partition, evaluate, route,
 // and optionally the chaos replay — and returns the computed solution.
-func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, verbose bool, co chaosOpts, do driftOpts) (*partition.Solution, error) {
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
@@ -215,9 +216,9 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 		res, measureErr := eval.Measure(func() error {
 			var rep *core.Report
 			var err error
-			sol, rep, err = core.PartitionContext(pctx, core.Input{
+			sol, rep, err = core.Partition(pctx, core.Input{
 				DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
-			}, core.Options{K: k, Seed: seed})
+			}, core.Options{K: k, Seed: seed, Parallelism: parallelism})
 			if err == nil && verbose {
 				fmt.Println(rep.String())
 			}
@@ -277,7 +278,7 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 	// Routing stage: build the runtime router from the code analysis and
 	// route every test transaction, reporting how many go to one partition.
 	_, sRoute := obs.StartSpan(ctx, "route")
-	err = routeStage(d, sol, b, test)
+	err = routeStage(ctx, d, sol, b, test)
 	sRoute.End()
 	if err != nil {
 		return nil, err
@@ -289,7 +290,7 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 		}
 	}
 	if do.scenario != "" {
-		if err := driftStage(ctx, benchmark, d, b, k, txns, seed, do); err != nil {
+		if err := driftStage(ctx, benchmark, d, b, k, txns, seed, parallelism, do); err != nil {
 			return nil, err
 		}
 	}
@@ -301,7 +302,7 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 // and prints their results plus the adaptive controller's JSON block (the
 // determinism contract: same flags, byte-identical output).
 func driftStage(ctx context.Context, benchmark string, d *db.DB, b workloads.Benchmark,
-	k, txns int, seed int64, do driftOpts) error {
+	k, txns int, seed int64, parallelism int, do driftOpts) error {
 	if benchmark != "synthetic" {
 		return fmt.Errorf("-drift requires -benchmark synthetic (the drift scenarios shape the synthetic workload)")
 	}
@@ -316,28 +317,41 @@ func driftStage(ctx context.Context, benchmark string, d *db.DB, b workloads.Ben
 	fmt.Printf("drift: scenario %q, %d transactions, drift at %d, window %d, budget %d\n",
 		sc.Name, tr.Len(), driftAt, do.window, do.budget)
 	procs := workloads.Procedures(b)
-	opts := core.Options{K: k, Seed: seed}
-	sol0, _, err := core.Partition(core.Input{DB: d, Procedures: procs, Train: tr.Head(driftAt)}, opts)
+	opts := core.Options{K: k, Seed: seed, Parallelism: parallelism}
+	sol0, _, err := core.Partition(ctx, core.Input{DB: d, Procedures: procs, Train: tr.Head(driftAt)}, opts)
 	if err != nil {
 		return fmt.Errorf("drift: initial solution: %w", err)
 	}
 	repart := func(win *trace.Trace, prev *partition.Solution) (*partition.Solution, error) {
-		res, err := core.Repartition(core.Input{DB: d, Procedures: procs, Train: win}, opts, prev, 0)
+		res, err := core.Repartition(ctx, core.Input{DB: d, Procedures: procs, Train: win}, opts, prev, 0)
 		if err != nil {
 			return nil, err
 		}
 		return res.Solution, nil
 	}
-	cfg := sim.DriftConfig{WindowSize: do.window, Budget: do.budget, DriftAt: driftAt}
-	st, err := sim.RunDriftStatic(d, sol0, tr, cfg)
+	base := sim.Scenario{
+		DB: d, Solution: sol0, Trace: tr,
+		Drift:       sim.DriftConfig{WindowSize: do.window, Budget: do.budget, DriftAt: driftAt},
+		Repartition: repart,
+	}
+	runMode := func(mode sim.Mode) (*sim.DriftResult, error) {
+		sc := base
+		sc.Mode = mode
+		res, err := sim.New(sc).Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res.Drift, nil
+	}
+	st, err := runMode(sim.ModeDriftStatic)
 	if err != nil {
 		return err
 	}
-	ad, err := sim.RunDriftAdaptive(d, sol0, tr, cfg, repart)
+	ad, err := runMode(sim.ModeDriftAdaptive)
 	if err != nil {
 		return err
 	}
-	or, err := sim.RunDriftOracle(d, sol0, tr, cfg, repart)
+	or, err := runMode(sim.ModeDriftOracle)
 	if err != nil {
 		return err
 	}
@@ -365,10 +379,14 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 		return err
 	}
 	fmt.Printf("chaos: scenario %q, seed %d\n", sc.Name, co.seed)
-	res, err := sim.RunChaosContext(ctx, d, sol, test, sim.ChaosConfig{}, sc, co.seed)
+	run, err := sim.New(sim.Scenario{
+		Mode: sim.ModeChaos, DB: d, Solution: sol, Trace: test,
+		Faults: sc, Seed: co.seed,
+	}).Run(ctx)
 	if err != nil {
 		return err
 	}
+	res := run.Chaos
 	fmt.Println("  " + res.String())
 	data, err := json.MarshalIndent(res, "  ", "  ")
 	if err != nil {
@@ -383,10 +401,14 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 		return err
 	}
 	fmt.Printf("durable: scenario %q, seed %d, wal-dir %s\n", sc.Name, co.seed, co.walDir)
-	dres, err := sim.RunChaosDurableContext(ctx, d, sol, test, sim.DurableConfig{}, sc, co.seed, co.walDir)
+	drun, err := sim.New(sim.Scenario{
+		Mode: sim.ModeDurable, DB: d, Solution: sol, Trace: test,
+		Faults: sc, Seed: co.seed, WALDir: co.walDir,
+	}).Run(ctx)
 	if err != nil {
 		return err
 	}
+	dres := drun.Durable
 	fmt.Println("  " + dres.String())
 	ddata, err := json.MarshalIndent(dres, "  ", "  ")
 	if err != nil {
@@ -450,7 +472,7 @@ func recoverStage(ctx context.Context, b workloads.Benchmark, scale int, seed in
 
 // routeStage builds a router for the solution and routes the test trace's
 // invocations, printing the local / multi-partition / broadcast mix.
-func routeStage(d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace) error {
+func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace) error {
 	var analyses []*sqlparse.Analysis
 	for _, proc := range workloads.Procedures(b) {
 		a, err := sqlparse.Analyze(proc, d.Schema())
@@ -466,11 +488,14 @@ func routeStage(d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *
 	local, multi, broadcast := 0, 0, 0
 	for i := range test.Txns {
 		t := &test.Txns[i]
-		parts := rt.Route(t.Class, t.Params)
+		dec, err := rt.Route(ctx, router.Request{Class: t.Class, Params: t.Params})
+		if err != nil {
+			return err
+		}
 		switch {
-		case len(parts) == 1:
+		case dec.Local():
 			local++
-		case len(parts) >= sol.K:
+		case len(dec.Partitions) >= sol.K:
 			broadcast++
 		default:
 			multi++

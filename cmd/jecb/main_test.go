@@ -12,7 +12,7 @@ import (
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, algo == "jecb", chaosOpts{}, driftOpts{})
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, 0, algo == "jecb", chaosOpts{}, driftOpts{})
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -24,17 +24,17 @@ func TestRunAllAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, false, chaosOpts{}, driftOpts{}); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, false, chaosOpts{}, driftOpts{}); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false, chaosOpts{}, driftOpts{}); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
@@ -45,7 +45,7 @@ func TestRealMainArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	solPath := filepath.Join(dir, "sol.json")
 	metricsPath := filepath.Join(dir, "m.json")
-	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1,
+	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1, 0,
 		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{}); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRealMainArtifacts(t *testing.T) {
 // TestRunChaosStage exercises the -chaos pipeline tail: builtin scenario
 // by name and scenario loaded from a JSON file.
 func TestRunChaosStage(t *testing.T) {
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
 		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}); err != nil {
 		t.Errorf("builtin scenario: %v", err)
 	}
@@ -85,7 +85,7 @@ func TestRunChaosStage(t *testing.T) {
 	if err := os.WriteFile(path, []byte(scJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
 		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}); err != nil {
 		t.Errorf("file scenario: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestRunChaosStage(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"name":`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, false,
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
 		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}); err == nil {
 		t.Error("malformed scenario must error")
 	}
@@ -103,12 +103,12 @@ func TestRunChaosStage(t *testing.T) {
 // TestRunDriftStage exercises the -drift pipeline tail: the drift
 // replay runs after partitioning, on the same benchmark and seed.
 func TestRunDriftStage(t *testing.T) {
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, false,
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
 		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}); err != nil {
 		t.Errorf("drift stage: %v", err)
 	}
 	// Unknown scenarios surface as errors, not panics.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, false,
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
 		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}); err == nil {
 		t.Error("unknown drift scenario must error")
 	}
@@ -119,14 +119,14 @@ func TestRunDriftStage(t *testing.T) {
 func TestRunRecoveredConvertsPanics(t *testing.T) {
 	// k <= 0 reaches partitioner internals that enforce invariants with
 	// panics; the boundary must convert, not crash.
-	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, false, chaosOpts{}, driftOpts{})
+	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{})
 	if err == nil {
 		t.Error("negative k must error")
 	}
 }
 
 func TestRealMainError(t *testing.T) {
-	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1,
+	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1, 0,
 		false, "", "", false, "", chaosOpts{}, driftOpts{}); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}

@@ -9,6 +9,35 @@
 // router — and the five OLTP benchmarks of the paper's evaluation plus
 // the §7.6 synthetic workload (internal/workloads/...).
 //
+// # API migration (parallel-search redesign)
+//
+// The pipeline entry points are unified behind context-first,
+// config-first signatures. The old entry points remain as thin
+// deprecated wrappers (one release of grace); new code should use the
+// right-hand column:
+//
+//	Deprecated entry point                      Canonical replacement
+//	------------------------------------------  ------------------------------------------------
+//	core.PartitionContext(ctx, in, opts)        core.Partition(ctx, in, opts)
+//	core.RepartitionContext(ctx, in, o, p, t)   core.Repartition(ctx, in, o, p, t)
+//	sim.Run(d, sol, tr, cfg)                    sim.New(sim.Scenario{DB:…}).Run(ctx)
+//	sim.RunChaos[Context](…)                    sim.New(sim.Scenario{Mode: sim.ModeChaos, …}).Run(ctx)
+//	sim.RunChaosDurable[Context](…)             sim.New(sim.Scenario{Mode: sim.ModeDurable, WALDir:…}).Run(ctx)
+//	sim.RunDriftStatic(…)                       sim.New(sim.Scenario{Mode: sim.ModeDriftStatic, …}).Run(ctx)
+//	sim.RunDriftAdaptive(…)                     sim.New(sim.Scenario{Mode: sim.ModeDriftAdaptive, Repartition:…}).Run(ctx)
+//	sim.RunDriftOracle(…)                       sim.New(sim.Scenario{Mode: sim.ModeDriftOracle, Repartition:…}).Run(ctx)
+//	router.(*Router).RoutePartitions(c, p)      router.(*Router).Route(ctx, router.Request{Class: c, Params: p})
+//	router.(*Router).RouteSafe(c, p, h)         router.(*Router).Route(ctx, router.Request{Class: c, Params: p, Health: h})
+//	router.(*EpochRouter).RoutePartitions(c,p)  router.(*EpochRouter).Route(ctx, router.Request{…})
+//	router.(*EpochRouter).RouteSafe(c, p, h)    router.(*EpochRouter).Route(ctx, router.Request{…})
+//
+// (Router.Route's old health-oblivious signature was renamed
+// RoutePartitions to free the canonical name; a nil Request.Health
+// routes as if every node were up and reproduces its partition sets.)
+// The search itself is parallel behind core.Options.Parallelism with
+// bit-identical results for any worker count — see DESIGN.md, "Parallel
+// search & the determinism contract".
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-vs-measured record. bench_test.go in this
 // directory regenerates every table and figure as a testing.B benchmark.

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,7 +38,7 @@ func main() {
 		full.Len(), train.Len(), test.Len())
 
 	// Run JECB for two partitions.
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: procs, Train: train, Test: test,
 	}, core.Options{K: 2})
 	if err != nil {

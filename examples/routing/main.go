@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,7 +28,7 @@ func main() {
 	full := workloads.GenerateTrace(b, d, 3000, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
 
-	sol, _, err := core.Partition(core.Input{
+	sol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 4})
 	if err != nil {
@@ -59,24 +60,38 @@ func main() {
 		fmt.Printf("  %-22s routes on %s\n", proc.Name, param)
 	}
 
-	// Route a few live invocations.
+	// Route a few live invocations through the canonical context-first
+	// entry point. A nil Health routes as if every node were up.
+	ctx := context.Background()
 	fmt.Println("\nsample routings:")
 	for _, sid := range []int64{1, 77, 499} {
-		parts := rt.Route("GetSubscriberData", map[string]value.Value{
-			"s_id": value.NewInt(sid),
+		dec, err := rt.Route(ctx, router.Request{
+			Class:  "GetSubscriberData",
+			Params: map[string]value.Value{"s_id": value.NewInt(sid)},
 		})
-		fmt.Printf("  GetSubscriberData(s_id=%d) -> partitions %v\n", sid, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  GetSubscriberData(s_id=%d) -> partitions %v\n", sid, dec.Partitions)
 	}
 	// UpdateLocation routes on the textual subscriber number.
-	parts := rt.Route("UpdateLocation", map[string]value.Value{
-		"sub_nbr": value.NewString(fmt.Sprintf("%015d", 42)),
+	dec, err := rt.Route(ctx, router.Request{
+		Class:  "UpdateLocation",
+		Params: map[string]value.Value{"sub_nbr": value.NewString(fmt.Sprintf("%015d", 42))},
 	})
-	fmt.Printf("  UpdateLocation(sub_nbr=...42) -> partitions %v\n", parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  UpdateLocation(sub_nbr=...42) -> partitions %v\n", dec.Partitions)
 
 	// Count single-partition routings over the test trace.
 	single := 0
-	for _, txn := range test.Txns {
-		if len(rt.Route(txn.Class, txn.Params)) == 1 {
+	for i := range test.Txns {
+		dec, err := rt.Route(ctx, router.Request{Class: test.Txns[i].Class, Params: test.Txns[i].Params})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dec.Local() {
 			single++
 		}
 	}

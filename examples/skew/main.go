@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("workload: %d transactions, 70%% hitting the hottest tenth of customers\n", skewed.Len())
 
 	// Partition with 8x more logical partitions than nodes.
-	fine, _, err := core.Partition(core.Input{
+	fine, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8 * nodes})
 	if err != nil {
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	// Baseline: partition directly into k = nodes.
-	direct, _, err := core.Partition(core.Input{
+	direct, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: nodes})
 	if err != nil {

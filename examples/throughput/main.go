@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,7 +33,7 @@ func main() {
 	ks := []int{1, 2, 4, 8, 16}
 	solvers := map[string]func(k int) (*partition.Solution, error){
 		"jecb": func(k int) (*partition.Solution, error) {
-			sol, _, err := core.Partition(core.Input{
+			sol, _, err := core.Partition(context.Background(), core.Input{
 				DB: d, Procedures: workloads.Procedures(b), Train: tr, Test: te,
 			}, core.Options{K: k})
 			return sol, err

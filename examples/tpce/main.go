@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -26,7 +27,7 @@ func main() {
 	full := workloads.GenerateTrace(b, d, 4000, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
 
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {

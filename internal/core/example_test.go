@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,7 +22,7 @@ func Example() {
 	full := fixture.MixedTrace(d, 400, 7)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(7)))
 
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB: d,
 		Procedures: []*sqlparse.Procedure{
 			fixture.CustInfoProcedure(),

@@ -21,6 +21,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/db"
 	"repro/internal/obs"
@@ -63,8 +64,18 @@ type Options struct {
 	// remote accesses leave a small multi-valued residue.
 	MITolerance float64
 	// Seed drives the deterministic pieces that need randomness (min-cut
-	// seeding, train/test splits made internally).
+	// seeding, train/test splits made internally). Per-class RNG seeds are
+	// derived from it (graphpart.DeriveSeed), so results do not depend on
+	// which worker solves which class.
 	Seed int64
+
+	// Parallelism is the worker count of the parallel search: phase 2
+	// solves transaction classes on a pool of this many workers (and
+	// shards per-class trace scans across it), and phase 3 evaluates
+	// candidate combinations concurrently. 0 or negative means
+	// runtime.GOMAXPROCS(0). Results are bit-identical for any value —
+	// see DESIGN.md, "Determinism contract".
+	Parallelism int
 
 	// Warm seeds Phase 3 with a previously deployed solution: the warm
 	// solution is costed first and becomes the incumbent every enumerated
@@ -100,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MITolerance <= 0 {
 		o.MITolerance = 0.25
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -160,13 +174,19 @@ func (p *Partitioner) RunContext(ctx context.Context) (*partition.Solution, *Rep
 		return nil, nil, err
 	}
 	ctx2, s2 := obs.StartSpan(ctx, "jecb/phase2")
+	s2.SetAttr("workers", p.opts.parallelism())
 	classes, err := p.phase2(ctx2, pre)
+	s2.SetAttr("classes", len(classes))
 	s2.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	_, s3 := obs.StartSpan(ctx, "jecb/phase3")
+	s3.SetAttr("workers", p.opts.parallelism())
 	sol, rep, err := p.phase3(pre, classes)
+	if rep != nil {
+		s3.SetAttr("combos", rep.CombosEvaluated)
+	}
 	s3.End()
 	if err != nil {
 		return nil, nil, err
@@ -174,16 +194,22 @@ func (p *Partitioner) RunContext(ctx context.Context) (*partition.Solution, *Rep
 	return sol, rep, nil
 }
 
-// Partition is the convenience one-call API.
-func Partition(in Input, opts Options) (*partition.Solution, *Report, error) {
-	return PartitionContext(context.Background(), in, opts)
-}
-
-// PartitionContext is Partition with context-threaded phase tracing.
-func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.Solution, *Report, error) {
+// Partition is the convenience one-call API. The context threads phase
+// tracing (obs.WithTrace) and is the canonical first parameter of every
+// pipeline entry point; pass context.Background() when no trace is
+// wanted.
+func Partition(ctx context.Context, in Input, opts Options) (*partition.Solution, *Report, error) {
 	p, err := New(in, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return p.RunContext(ctx)
+}
+
+// PartitionContext is a compatibility alias for Partition.
+//
+// Deprecated: Partition is context-first since the parallel-search
+// redesign; call Partition(ctx, in, opts) directly.
+func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.Solution, *Report, error) {
+	return Partition(ctx, in, opts)
 }

@@ -35,7 +35,7 @@ func custInfoInput(t *testing.T, n int) (Input, *db.DB) {
 // distributed transactions.
 func TestJECBCustInfoEndToEnd(t *testing.T) {
 	in, d := custInfoInput(t, 400)
-	sol, rep, err := Partition(in, Options{K: 2})
+	sol, rep, err := Partition(context.Background(), in, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +134,11 @@ func TestJECBPhase2CustInfo(t *testing.T) {
 // a cross-table path, and the result can never beat full JECB.
 func TestJECBIntraTableAblation(t *testing.T) {
 	in, d := custInfoInput(t, 400)
-	ablated, _, err := Partition(in, Options{K: 2, IntraTableOnly: true})
+	ablated, _, err := Partition(context.Background(), in, Options{K: 2, IntraTableOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, _, err := Partition(in, Options{K: 2})
+	full, _, err := Partition(context.Background(), in, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func clusteredPairsDB(t *testing.T, clustered bool) (Input, *db.DB) {
 
 func TestJECBMinCutFallback(t *testing.T) {
 	in, d := clusteredPairsDB(t, true)
-	sol, rep, err := Partition(in, Options{K: 8})
+	sol, rep, err := Partition(context.Background(), in, Options{K: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestJECBMinCutFallback(t *testing.T) {
 
 func TestJECBNonPartitionable(t *testing.T) {
 	in, d := clusteredPairsDB(t, false)
-	sol, rep, err := Partition(in, Options{K: 8})
+	sol, rep, err := Partition(context.Background(), in, Options{K: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestJECBNonPartitionable(t *testing.T) {
 
 func TestJECBDisabledFallback(t *testing.T) {
 	in, _ := clusteredPairsDB(t, true)
-	_, rep, err := Partition(in, Options{K: 8, DisableMinCutFallback: true})
+	_, rep, err := Partition(context.Background(), in, Options{K: 8, DisableMinCutFallback: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestJECBInputValidation(t *testing.T) {
 	// Trace class without a procedure.
 	bad := in
 	bad.Procedures = []*sqlparse.Procedure{fixture.CustInfoProcedure()}
-	if _, _, err := Partition(bad, Options{K: 2}); err == nil {
+	if _, _, err := Partition(context.Background(), bad, Options{K: 2}); err == nil {
 		t.Error("missing procedure for a trace class must error")
 	}
 }
@@ -304,7 +304,7 @@ func TestJECBReadOnlyClass(t *testing.T) {
 	// every class is flagged read-only.
 	d := fixture.CustInfoDB()
 	tr := fixture.CustInfoTrace(d, 100, 5)
-	sol, rep, err := Partition(Input{
+	sol, rep, err := Partition(context.Background(), Input{
 		DB:         d,
 		Procedures: []*sqlparse.Procedure{fixture.CustInfoProcedure()},
 		Train:      tr,
@@ -401,11 +401,11 @@ func TestJECBSubtreePartials(t *testing.T) {
 
 func TestJECBDeterminism(t *testing.T) {
 	in, _ := custInfoInput(t, 200)
-	s1, _, err := Partition(in, Options{K: 2, Seed: 1})
+	s1, _, err := Partition(context.Background(), in, Options{K: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, _, err := Partition(in, Options{K: 2, Seed: 1})
+	s2, _, err := Partition(context.Background(), in, Options{K: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,82 @@
+package core
+
+// Phase-level benchmarks of the parallel search: phase 2 (per-class join
+// trees) and phase 3 (combination search) on TPC-C and SEATS, each at a
+// sweep of worker counts. The full-pipeline counterparts — and the
+// BENCH_parallel.json exporter recording the 1-vs-8 worker speedup —
+// live in bench_parallel_test.go at the repository root.
+//
+// Run: go test -bench='Phase2|Phase3' -benchmem ./internal/core/
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/internal/workloads/seats"
+	"repro/internal/workloads/tpcc"
+)
+
+// benchPartitioner loads a benchmark and constructs a ready-to-run
+// Partitioner plus its phase-1 output, so phase 2 and phase 3 can be
+// timed in isolation.
+func benchPartitioner(tb testing.TB, b workloads.Benchmark, scale, txns, workers int) (*Partitioner, *preprocessed) {
+	tb.Helper()
+	d, err := b.Load(workloads.Config{Scale: scale, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	full := workloads.GenerateTrace(b, d, txns, 2)
+	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
+	p, err := New(Input{
+		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
+	}, Options{K: 8, Seed: 42, Parallelism: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pre, err := p.phase1()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p, pre
+}
+
+func benchPhase2(b *testing.B, bench workloads.Benchmark, scale, txns int) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, pre := benchPartitioner(b, bench, scale, txns, workers)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.phase2(ctx, pre); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchPhase3(b *testing.B, bench workloads.Benchmark, scale, txns int) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, pre := benchPartitioner(b, bench, scale, txns, workers)
+			classes, err := p.phase2(context.Background(), pre)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.phase3(pre, classes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPhase2TPCC(b *testing.B)  { benchPhase2(b, tpcc.New(), 8, 2000) }
+func BenchmarkPhase2SEATS(b *testing.B) { benchPhase2(b, seats.New(), 300, 2000) }
+func BenchmarkPhase3TPCC(b *testing.B)  { benchPhase3(b, tpcc.New(), 8, 2000) }
+func BenchmarkPhase3SEATS(b *testing.B) { benchPhase3(b, seats.New(), 300, 2000) }

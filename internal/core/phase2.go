@@ -56,24 +56,47 @@ type ClassResult struct {
 }
 
 // phase2 finds total and partial solutions for every transaction class
-// (§5). Each class gets its own child span jecb/phase2/<class> when ctx
-// carries a trace.
+// (§5). Classes are independent — each works off its own stream, a
+// read-only database, and a class-derived RNG seed — so they are solved
+// on a pool of Options.Parallelism workers. Results land in per-class
+// slots indexed by the sorted class order and are folded back
+// sequentially, so the output (and every metric fold) is identical for
+// any worker count.
+//
+// Each class gets its own child span jecb/phase2/<class> when ctx carries
+// a trace; spans are opened in sorted class order before dispatch (stable
+// child order) and closed by whichever worker finishes the class, so a
+// span's duration includes any time the class waited in the queue.
 func (p *Partitioner) phase2(ctx context.Context, pre *preprocessed) (map[string]*ClassResult, error) {
 	testStreams := p.in.Test.Split()
-	// Deterministic class order so span children appear in stable order.
+	// Deterministic class order: dispatch order, result-slot indexing and
+	// span-children order all follow it.
 	classNames := make([]string, 0, len(pre.Streams))
 	for class := range pre.Streams {
 		classNames = append(classNames, class)
 	}
 	sort.Strings(classNames)
+
+	workers := p.opts.parallelism()
+	gPhase2Workers.Set(float64(workers))
+	spans := make([]*obs.Span, len(classNames))
+	for i, class := range classNames {
+		_, spans[i] = obs.StartSpan(ctx, "jecb/phase2/"+class)
+	}
+	results := make([]*ClassResult, len(classNames))
+	errs := make([]error, len(classNames))
+	forEachIndexed(workers, len(classNames), gPhase2Queue, func(i int) {
+		class := classNames[i]
+		results[i], errs[i] = p.solveClass(pre, class, pre.Streams[class], testStreams[class])
+		spans[i].End()
+	})
+
 	out := make(map[string]*ClassResult, len(pre.Streams))
-	for _, class := range classNames {
-		_, span := obs.StartSpan(ctx, "jecb/phase2/"+class)
-		res, err := p.solveClass(pre, class, pre.Streams[class], testStreams[class])
-		span.End()
-		if err != nil {
-			return nil, fmt.Errorf("core: phase 2: class %s: %w", class, err)
+	for i, class := range classNames {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: phase 2: class %s: %w", class, errs[i])
 		}
+		res := results[i]
 		cClassesSolved.Inc()
 		if res.ReadOnly {
 			cClassesRO.Inc()
@@ -186,40 +209,53 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 // check is restricted to that subset (for partial solutions);
 // transactions touching none of the covered tables do not constrain the
 // result. Transactions with unmappable tuples count as multi-valued.
+// The scan shards the stream into contiguous ranges counted concurrently
+// (db.PathEval memo caches are per shard: they are not safe to share);
+// the per-shard counts fold by integer addition, so the fraction is
+// identical for any worker count.
 func (p *Partitioner) singleValueFraction(tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (float64, error) {
-	evals := map[string]*db.PathEval{}
-	for tbl, path := range tree.Paths {
-		if tables == nil || tables[tbl] {
-			evals[tbl] = db.NewPathEval(p.in.DB, path)
-		}
-	}
 	if stream.Len() == 0 {
 		return 1, nil
 	}
+	workers := p.opts.parallelism()
+	counts := make([]int, workers)
+	forEachShard(workers, stream.Len(), func(shard, lo, hi int) {
+		evals := map[string]*db.PathEval{}
+		for tbl, path := range tree.Paths {
+			if tables == nil || tables[tbl] {
+				evals[tbl] = db.NewPathEval(p.in.DB, path)
+			}
+		}
+		single := 0
+		for i := lo; i < hi; i++ {
+			var first value.Value
+			seen, multi := false, false
+			for _, acc := range stream.Txns[i].Accesses {
+				ev, ok := evals[acc.Table]
+				if !ok {
+					continue
+				}
+				v, ok := ev.Eval(acc.Key)
+				if !ok {
+					multi = true
+					break
+				}
+				if !seen {
+					first, seen = v, true
+				} else if v != first {
+					multi = true
+					break
+				}
+			}
+			if !multi {
+				single++
+			}
+		}
+		counts[shard] = single
+	})
 	single := 0
-	for i := range stream.Txns {
-		var first value.Value
-		seen, multi := false, false
-		for _, acc := range stream.Txns[i].Accesses {
-			ev, ok := evals[acc.Table]
-			if !ok {
-				continue
-			}
-			v, ok := ev.Eval(acc.Key)
-			if !ok {
-				multi = true
-				break
-			}
-			if !seen {
-				first, seen = v, true
-			} else if v != first {
-				multi = true
-				break
-			}
-		}
-		if !multi {
-			single++
-		}
+	for _, c := range counts {
+		single += c
 	}
 	return float64(single) / float64(stream.Len()), nil
 }
@@ -231,31 +267,55 @@ func (p *Partitioner) mappingIndependent(tree *joingraph.Tree, stream *trace.Tra
 }
 
 // rootValueSets maps each transaction of the stream to the set of root
-// values its covered accesses reach (used by the min-cut fallback).
+// values its covered accesses reach (used by the min-cut fallback). Each
+// per-transaction set is sorted by value.Compare (ties broken by encoded
+// form): the sets come out of a Go map, and leaving them in iteration
+// order used to leak map randomization into the min-cut graph's vertex
+// indexing — the same run could cut a different (equal-weight) edge set
+// and pick a different mapping. Sorting at this boundary is what makes
+// the whole fallback byte-stable across runs and worker counts.
+//
+// Transactions shard across workers into contiguous ranges; each shard
+// writes only its own out[i] slots with a private PathEval memo.
 func (p *Partitioner) rootValueSets(tree *joingraph.Tree, stream *trace.Trace) ([][]value.Value, error) {
-	evals := map[string]*db.PathEval{}
-	for tbl, path := range tree.Paths {
-		evals[tbl] = db.NewPathEval(p.in.DB, path)
-	}
 	out := make([][]value.Value, stream.Len())
-	for i := range stream.Txns {
-		set := map[value.Value]bool{}
-		for _, acc := range stream.Txns[i].Accesses {
-			ev, ok := evals[acc.Table]
-			if !ok {
-				continue
-			}
-			if v, ok := ev.Eval(acc.Key); ok {
-				set[v] = true
-			}
+	forEachShard(p.opts.parallelism(), stream.Len(), func(_, lo, hi int) {
+		evals := map[string]*db.PathEval{}
+		for tbl, path := range tree.Paths {
+			evals[tbl] = db.NewPathEval(p.in.DB, path)
 		}
-		vals := make([]value.Value, 0, len(set))
-		for v := range set {
-			vals = append(vals, v)
+		for i := lo; i < hi; i++ {
+			set := map[value.Value]bool{}
+			for _, acc := range stream.Txns[i].Accesses {
+				ev, ok := evals[acc.Table]
+				if !ok {
+					continue
+				}
+				if v, ok := ev.Eval(acc.Key); ok {
+					set[v] = true
+				}
+			}
+			vals := make([]value.Value, 0, len(set))
+			for v := range set {
+				vals = append(vals, v)
+			}
+			sortValues(vals)
+			out[i] = vals
 		}
-		out[i] = vals
-	}
+	})
 	return out, nil
+}
+
+// sortValues orders values by Compare, breaking cross-kind ties (distinct
+// map keys can still Compare equal, e.g. an integer and the equal float)
+// by their canonical encoding so the order is total and stable.
+func sortValues(vals []value.Value) {
+	sort.Slice(vals, func(a, b int) bool {
+		if c := vals[a].Compare(vals[b]); c != 0 {
+			return c < 0
+		}
+		return string(vals[a].Encode(nil)) < string(vals[b].Encode(nil))
+	})
 }
 
 // minCutSolution implements §5.3's statistics-based mapping: build the
@@ -295,7 +355,11 @@ func (p *Partitioner) minCutSolution(class string, trees []*joingraph.Tree, stre
 				}
 			}
 		}
-		parts, err := graphpart.Partition(g, p.opts.K, graphpart.Options{Seed: p.opts.Seed})
+		// The min-cut seed is derived per (class, tree root): stable across
+		// runs and independent of which worker solves the class or the
+		// order classes finish in.
+		seed := graphpart.DeriveSeed(p.opts.Seed, class+"|"+tree.Root.String())
+		parts, err := graphpart.Partition(g, p.opts.K, graphpart.Options{Seed: seed})
 		if err != nil {
 			return nil, err
 		}
@@ -353,11 +417,11 @@ func (p *Partitioner) classCost(tree *joingraph.Tree, m partition.Mapper, stream
 			}
 		}
 	}
-	r, err := eval.Evaluate(p.in.DB, sol, stream)
+	a, err := eval.NewAssigner(p.in.DB, sol)
 	if err != nil {
 		return 0, err
 	}
-	return r.Cost(), nil
+	return a.EvaluateParallel(stream, p.opts.parallelism()).Cost(), nil
 }
 
 // addPartialsFromSubtrees walks the sub-join trees of a total solution,

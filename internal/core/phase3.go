@@ -71,6 +71,12 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 		return sol, rep, nil
 	}
 
+	// One FK-navigation cache backs every candidate scored this phase:
+	// candidates overwhelmingly route tables through the same join paths,
+	// so each (path, key) navigation is walked once across the whole
+	// search instead of once per candidate.
+	nav := eval.NewNavCache()
+
 	// Warm start: a previously deployed solution seeds the incumbent.
 	// Every enumerated combination must now *beat* the deployed trees on
 	// the current training window, so a stable workload keeps its
@@ -78,38 +84,61 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 	var best *partition.Solution
 	bestCost := 0.0
 	if w := p.opts.Warm; w != nil && w.K == p.opts.K && w.Validate(sc) == nil {
-		r, err := eval.Evaluate(p.in.DB, w, p.in.Train)
-		if err == nil {
+		if a, err := eval.NewAssignerCached(p.in.DB, w, nav); err == nil {
 			// Copy the shell so renaming the winner cannot mutate the
 			// caller's deployed solution.
 			best = &partition.Solution{Name: w.Name, K: w.K, Tables: w.Tables}
-			bestCost = r.Cost()
+			bestCost = a.EvaluateParallel(p.in.Train, p.opts.parallelism()).Cost()
 			rep.WarmSeeded = true
 			rep.WarmCost = bestCost
 		}
 	}
 
-	// Steps 2–3: per attribute, build reduced per-table solution sets,
-	// enumerate combinations, and keep the global-cheapest.
+	// Steps 2–3: per attribute, build reduced per-table solution sets and
+	// enumerate combinations — sequentially: enumeration is cheap and its
+	// order defines the tie-break (first strictly-better candidate wins).
+	type candidate struct {
+		attr schema.ColumnRef
+		sol  *partition.Solution
+	}
+	var cands []candidate
 	for _, attr := range attrs {
 		combos, err := p.combosForAttribute(pre, byTable, attr, compat)
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, sol := range combos {
-			rep.CombosEvaluated++
-			cCombosEval.Inc()
-			r, err := eval.Evaluate(p.in.DB, sol, p.in.Train)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: phase 3: %w", err)
-			}
-			cost := r.Cost()
-			if best == nil || cost < bestCost {
-				best, bestCost = sol, cost
-				rep.ChosenAttribute = attr
-				cBestImprove.Inc()
-				gBestCost.Set(cost)
-			}
+			cands = append(cands, candidate{attr: attr, sol: sol})
+		}
+	}
+
+	// Cost every candidate concurrently (each into its own slot), then
+	// fold the argmin sequentially in enumeration order with a strict <,
+	// which reproduces the sequential search's winner exactly: the first
+	// candidate achieving the minimum cost.
+	workers := p.opts.parallelism()
+	gPhase3Workers.Set(float64(workers))
+	costs := make([]float64, len(cands))
+	errs := make([]error, len(cands))
+	forEachIndexed(workers, len(cands), gPhase3Queue, func(i int) {
+		a, err := eval.NewAssignerCached(p.in.DB, cands[i].sol, nav)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		costs[i] = a.Evaluate(p.in.Train).Cost()
+	})
+	for i, c := range cands {
+		rep.CombosEvaluated++
+		cCombosEval.Inc()
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("core: phase 3: %w", errs[i])
+		}
+		if best == nil || costs[i] < bestCost {
+			best, bestCost = c.sol, costs[i]
+			rep.ChosenAttribute = c.attr
+			cBestImprove.Inc()
+			gBestCost.Set(bestCost)
 		}
 	}
 	if best == nil {

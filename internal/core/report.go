@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -125,6 +126,84 @@ func (r *Report) Table4() []Table4Row {
 		rows = append(rows, Table4Row{Table: n, Solution: strings.Join(hops, " -> ")})
 	}
 	return rows
+}
+
+// reportJSON is the deterministic exportable form of a Report: every map
+// is flattened into a name-sorted slice and class solutions reduce to
+// their root attributes (join trees and mapper internals live in the
+// Solution's own canonical JSON). Byte-for-byte identical JSON across
+// runs and worker counts is part of the determinism contract (DESIGN.md)
+// and what the CI cross-worker-count diff compares.
+type reportJSON struct {
+	K                   int                 `json:"k"`
+	Replicated          []string            `json:"replicated,omitempty"`
+	Classes             []classJSON         `json:"classes"`
+	UnprunedSpace       int                 `json:"unpruned_space"`
+	CandidateAttributes []string            `json:"candidate_attributes,omitempty"`
+	CombosEvaluated     int                 `json:"combos_evaluated"`
+	ChosenAttribute     string              `json:"chosen_attribute,omitempty"`
+	TrainCost           float64             `json:"train_cost"`
+	WarmSeeded          bool                `json:"warm_seeded,omitempty"`
+	WarmCost            float64             `json:"warm_cost,omitempty"`
+	Solution            *partition.Solution `json:"solution,omitempty"`
+}
+
+type classJSON struct {
+	Class            string   `json:"class"`
+	Mix              float64  `json:"mix"`
+	ReadOnly         bool     `json:"read_only,omitempty"`
+	NonPartitionable bool     `json:"non_partitionable,omitempty"`
+	TreeSpace        int      `json:"tree_space,omitempty"`
+	Total            []string `json:"total,omitempty"`
+	Partial          []string `json:"partial,omitempty"`
+	// Cost is the class-local cost of the cheapest total solution.
+	Cost float64 `json:"cost,omitempty"`
+}
+
+// MarshalJSON renders the report in a canonical, deterministic form.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		K:               r.K,
+		UnprunedSpace:   r.UnprunedSpace,
+		CombosEvaluated: r.CombosEvaluated,
+		TrainCost:       r.TrainCost,
+		WarmSeeded:      r.WarmSeeded,
+		WarmCost:        r.WarmCost,
+		Solution:        r.Solution,
+	}
+	for tbl, on := range r.Replicated {
+		if on {
+			out.Replicated = append(out.Replicated, tbl)
+		}
+	}
+	sort.Strings(out.Replicated)
+	for _, a := range r.CandidateAttributes {
+		out.CandidateAttributes = append(out.CandidateAttributes, a.String())
+	}
+	if (r.ChosenAttribute != schema.ColumnRef{}) {
+		out.ChosenAttribute = r.ChosenAttribute.String()
+	}
+	for _, name := range r.ClassNames() {
+		cr := r.Classes[name]
+		cj := classJSON{
+			Class:            name,
+			Mix:              cr.Mix,
+			ReadOnly:         cr.ReadOnly,
+			NonPartitionable: cr.NonPartitionable,
+			TreeSpace:        cr.TreeSpace,
+		}
+		for i, s := range cr.Total {
+			cj.Total = append(cj.Total, s.Root().String())
+			if i == 0 || s.Cost < cj.Cost {
+				cj.Cost = s.Cost
+			}
+		}
+		for _, s := range cr.Partial {
+			cj.Partial = append(cj.Partial, s.Root().String())
+		}
+		out.Classes = append(out.Classes, cj)
+	}
+	return json.Marshal(out)
 }
 
 // String renders a human-readable run summary.

@@ -117,7 +117,7 @@ func TestMToNClassYieldsPartials(t *testing.T) {
 	}
 	// End to end: the global solution covers all three tables and beats
 	// full replication (which would distribute every writing txn).
-	sol, _, err := Partition(in, Options{K: 4})
+	sol, _, err := Partition(context.Background(), in, Options{K: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

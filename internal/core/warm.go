@@ -51,12 +51,15 @@ func (r *RepartitionResult) String() string {
 		mode, 100*r.PrevCost, 100*r.Cost)
 }
 
-// Repartition is RepartitionContext without tracing.
-func Repartition(in Input, opts Options, prev *partition.Solution, tol float64) (*RepartitionResult, error) {
-	return RepartitionContext(context.Background(), in, opts, prev, tol)
+// RepartitionContext is a compatibility alias for Repartition.
+//
+// Deprecated: Repartition is context-first since the parallel-search
+// redesign; call Repartition(ctx, in, opts, prev, tol) directly.
+func RepartitionContext(ctx context.Context, in Input, opts Options, prev *partition.Solution, tol float64) (*RepartitionResult, error) {
+	return Repartition(ctx, in, opts, prev, tol)
 }
 
-// RepartitionContext warm-starts JECB from a previously deployed
+// Repartition warm-starts JECB from a previously deployed
 // solution against a fresh training window:
 //
 //  1. The previous solution's join trees are re-costed on in.Train. When
@@ -71,7 +74,7 @@ func Repartition(in Input, opts Options, prev *partition.Solution, tol float64) 
 //
 // The accepted solution keeps the previous solution's identity when warm
 // (callers can use pointer equality to detect "nothing changed").
-func RepartitionContext(ctx context.Context, in Input, opts Options, prev *partition.Solution, tol float64) (*RepartitionResult, error) {
+func Repartition(ctx context.Context, in Input, opts Options, prev *partition.Solution, tol float64) (*RepartitionResult, error) {
 	if prev == nil {
 		return nil, fmt.Errorf("core: repartition without a previous solution")
 	}
@@ -103,7 +106,7 @@ func RepartitionContext(ctx context.Context, in Input, opts Options, prev *parti
 	// Regression: full search, seeded with the deployed trees.
 	cFullSearches.Inc()
 	opts.Warm = prev
-	sol, rep, err := PartitionContext(ctx, in, opts)
+	sol, rep, err := Partition(ctx, in, opts)
 	if err != nil {
 		return nil, err
 	}

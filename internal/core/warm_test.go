@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,12 +14,12 @@ import (
 // window is kept by pointer identity, with no full search.
 func TestRepartitionWarmAccept(t *testing.T) {
 	in, _ := custInfoInput(t, 400)
-	prev, _, err := Partition(in, Options{K: 2})
+	prev, _, err := Partition(context.Background(), in, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same workload shape: the deployed trees still cost 0.
-	res, err := Repartition(in, Options{K: 2}, prev, 0)
+	res, err := Repartition(context.Background(), in, Options{K: 2}, prev, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestRepartitionRegressionRunsSearch(t *testing.T) {
 	), partition.NewHash(2)))
 	bad.Set(partition.NewByPath("HOLDING_SUMMARY", fixture.HSPath(), partition.NewHash(2)))
 	bad.Set(partition.NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), partition.NewHash(2)))
-	res, err := Repartition(in, Options{K: 2}, bad, 0.01)
+	res, err := Repartition(context.Background(), in, Options{K: 2}, bad, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,20 +83,20 @@ func TestRepartitionRegressionRunsSearch(t *testing.T) {
 // training traces are typed errors.
 func TestRepartitionErrors(t *testing.T) {
 	in, _ := custInfoInput(t, 100)
-	prev, _, err := Partition(in, Options{K: 2})
+	prev, _, err := Partition(context.Background(), in, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Repartition(in, Options{K: 2}, nil, 0); err == nil {
+	if _, err := Repartition(context.Background(), in, Options{K: 2}, nil, 0); err == nil {
 		t.Error("nil previous solution must error")
 	}
-	if _, err := Repartition(in, Options{K: 4}, prev, 0); err == nil {
+	if _, err := Repartition(context.Background(), in, Options{K: 4}, prev, 0); err == nil {
 		t.Error("k mismatch must error")
 	}
 	empty := in
 	empty.Train = nil
 	empty.Test = nil
-	if _, err := Repartition(empty, Options{K: 2}, prev, 0); err == nil {
+	if _, err := Repartition(context.Background(), empty, Options{K: 2}, prev, 0); err == nil {
 		t.Error("empty training trace must error")
 	}
 }

@@ -9,10 +9,12 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/db"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/schema"
 	"repro/internal/trace"
 )
 
@@ -22,6 +24,7 @@ var (
 	cTxnsScored  = obs.Default.Counter("eval.txns_scored")
 	cTxnsDist    = obs.Default.Counter("eval.txns_distributed")
 	cAssigners   = obs.Default.Counter("eval.assigners_built")
+	gEvalWorkers = obs.Default.Gauge("eval.workers")
 )
 
 // ClassResult aggregates cost for one transaction class.
@@ -84,24 +87,54 @@ func (r *Result) String() string {
 		r.Solution, r.K, 100*r.Cost(), r.Distributed, r.Total)
 }
 
-// Assigner binds a solution to a database, memoizing join-path evaluation
-// per table. Partition queries drive both the evaluator and the router.
+// tableBinding is the prepared placement machinery of one partitioned
+// table: its join path, the path's cache identity, and its mapper.
+type tableBinding struct {
+	path   schema.JoinPath
+	pathID string // path.String(): the NavCache key prefix
+	mapper partition.Mapper
+}
+
+// Assigner binds a solution to a database, memoizing FK navigation
+// (join-path evaluation) per (table join path, key) in a sharded,
+// concurrency-safe NavCache. Partition queries drive both the evaluator
+// and the router. An Assigner is safe for concurrent use: PlaceKey,
+// TxnPartitions, Distributed and Evaluate may be called from any number
+// of goroutines, and the parallel JECB search hammers one shared Assigner
+// from its whole worker pool.
 type Assigner struct {
-	d     *db.DB
-	sol   *partition.Solution
-	evals map[string]*db.PathEval
+	d        *db.DB
+	sol      *partition.Solution
+	bindings map[string]tableBinding
+	nav      *NavCache
 }
 
 // NewAssigner validates the solution against the database schema and
-// prepares per-table path evaluators.
+// prepares per-table placement bindings backed by a private NavCache.
 func NewAssigner(d *db.DB, sol *partition.Solution) (*Assigner, error) {
+	return NewAssignerCached(d, sol, nil)
+}
+
+// NewAssignerCached is NewAssigner with a shared FK-navigation cache: all
+// Assigners over the same (unmutated) database may share one NavCache, so
+// scoring many candidate solutions that route tables through the same
+// join paths re-walks each (path, key) navigation only once. A nil cache
+// allocates a private one.
+func NewAssignerCached(d *db.DB, sol *partition.Solution, nav *NavCache) (*Assigner, error) {
 	if err := sol.Validate(d.Schema()); err != nil {
 		return nil, err
 	}
-	a := &Assigner{d: d, sol: sol, evals: make(map[string]*db.PathEval)}
+	if nav == nil {
+		nav = NewNavCache()
+	}
+	a := &Assigner{d: d, sol: sol, bindings: make(map[string]tableBinding), nav: nav}
 	for name, ts := range sol.Tables {
 		if !ts.Replicate {
-			a.evals[name] = db.NewPathEval(d, ts.Path)
+			a.bindings[name] = tableBinding{
+				path:   ts.Path,
+				pathID: ts.Path.String(),
+				mapper: ts.Mapper,
+			}
 		}
 	}
 	cAssigners.Inc()
@@ -111,11 +144,15 @@ func NewAssigner(d *db.DB, sol *partition.Solution) (*Assigner, error) {
 // Solution returns the bound solution.
 func (a *Assigner) Solution() *partition.Solution { return a.sol }
 
+// NavCache returns the assigner's FK-navigation cache (for sharing with
+// further assigners over the same database).
+func (a *Assigner) NavCache() *NavCache { return a.nav }
+
 // PlaceKey returns the partition of an accessed tuple:
 // partition.Replicated for replicated tables, a partition in [0..k)
 // otherwise. ok is false when the solution does not cover the table or the
 // tuple's join path dangles (the tuple cannot be placed, so any
-// transaction touching it is distributed).
+// transaction touching it is distributed). Safe for concurrent use.
 func (a *Assigner) PlaceKey(acc trace.Access) (int, bool) {
 	ts := a.sol.Table(acc.Table)
 	if ts == nil {
@@ -124,12 +161,23 @@ func (a *Assigner) PlaceKey(acc trace.Access) (int, bool) {
 	if ts.Replicate {
 		return partition.Replicated, true
 	}
-	ev := a.evals[acc.Table]
-	v, ok := ev.Eval(acc.Key)
-	if !ok {
+	b := a.bindings[acc.Table]
+	nk := navKey{path: b.pathID, key: acc.Key}
+	nv, hit := a.nav.get(nk)
+	if !hit {
+		v, ok, err := a.d.EvalPath(b.path, acc.Key)
+		if err != nil {
+			// Structural errors mean the path does not match the schema;
+			// solutions are validated up front, so treat as dangling.
+			ok = false
+		}
+		nv = navVal{v: v, ok: ok}
+		a.nav.put(nk, nv)
+	}
+	if !nv.ok {
 		return 0, false
 	}
-	return ts.Mapper.Map(v), true
+	return b.mapper.Map(nv.v), true
 }
 
 // TxnPartitions classifies a transaction under the bound solution: the set
@@ -170,14 +218,24 @@ func Evaluate(d *db.DB, sol *partition.Solution, tr *trace.Trace) (*Result, erro
 	return a.Evaluate(tr), nil
 }
 
-// Evaluate scores the bound solution on a trace.
+// Evaluate scores the bound solution on a trace (sequentially; see
+// EvaluateParallel for the sharded form — both produce identical Results).
 func (a *Assigner) Evaluate(tr *trace.Trace) *Result {
+	return a.EvaluateParallel(tr, 1)
+}
+
+// evalShard scores the half-open transaction range [lo, hi) of a trace
+// into a private Result. Because per-transaction scoring is independent
+// and Result merging is pure integer addition, sharding the trace into
+// contiguous ranges and merging in range order is bit-identical to the
+// sequential loop.
+func (a *Assigner) evalShard(tr *trace.Trace, lo, hi int) *Result {
 	r := &Result{
 		Solution: a.sol.Name,
 		K:        a.sol.K,
 		ByClass:  make(map[string]*ClassResult),
 	}
-	for i := range tr.Txns {
+	for i := lo; i < hi; i++ {
 		t := &tr.Txns[i]
 		cr, ok := r.ByClass[t.Class]
 		if !ok {
@@ -200,6 +258,62 @@ func (a *Assigner) Evaluate(tr *trace.Trace) *Result {
 			}
 			r.TouchSum += touched
 		}
+	}
+	return r
+}
+
+// merge folds o into r (commutative and associative over the counters;
+// merge order does not affect the result, only map insertion order, which
+// Classes() re-sorts anyway).
+func (r *Result) merge(o *Result) {
+	r.Total += o.Total
+	r.Distributed += o.Distributed
+	r.TouchSum += o.TouchSum
+	for name, oc := range o.ByClass {
+		cr, ok := r.ByClass[name]
+		if !ok {
+			cr = &ClassResult{Class: name}
+			r.ByClass[name] = cr
+		}
+		cr.Total += oc.Total
+		cr.Distributed += oc.Distributed
+	}
+}
+
+// EvaluateParallel scores the bound solution on a trace with the given
+// worker count, sharding the transactions into contiguous ranges scored
+// concurrently and merged deterministically in shard order. The result is
+// bit-identical for any workers >= 1 (workers <= 1, or traces too small
+// to shard, take the sequential path). Safe for concurrent use: many
+// EvaluateParallel calls may run against one shared Assigner.
+func (a *Assigner) EvaluateParallel(tr *trace.Trace, workers int) *Result {
+	n := len(tr.Txns)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		r := a.evalShard(tr, 0, n)
+		cEvaluations.Inc()
+		cTxnsScored.Add(int64(r.Total))
+		cTxnsDist.Add(int64(r.Distributed))
+		return r
+	}
+	gEvalWorkers.Set(float64(workers))
+	shards := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w] = a.evalShard(tr, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	r := shards[0]
+	for _, s := range shards[1:] {
+		r.merge(s)
 	}
 	cEvaluations.Inc()
 	cTxnsScored.Add(int64(r.Total))

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// Nav-cache metrics, cached in package vars: the cache sits on the
+// evaluator's innermost loop.
+var (
+	cNavHits   = obs.Default.Counter("eval.nav_cache_hits")
+	cNavMisses = obs.Default.Counter("eval.nav_cache_misses")
+)
+
+// navShards is the shard count of NavCache. A power of two so the shard
+// pick is a mask; 64 keeps contention negligible at realistic worker
+// counts (≤ a few dozen) without bloating the struct.
+const navShards = 64
+
+// navKey identifies one memoized join-path navigation: the table whose
+// tuple is being placed and the tuple's primary key. Within one Assigner a
+// table has exactly one join path, so (table, key) pins the navigation;
+// across Assigners the cache is shared per (table, key) only when the
+// paths agree (see Assigner.cacheID).
+type navKey struct {
+	path string
+	key  value.Key
+}
+
+// navVal is a memoized navigation outcome: the destination attribute
+// value, or ok=false for a dangling chain (NULL FK / missing row).
+type navVal struct {
+	v  value.Value
+	ok bool
+}
+
+type navShard struct {
+	mu sync.RWMutex
+	m  map[navKey]navVal
+}
+
+// NavCache memoizes FK-navigation (join-path) evaluations keyed by
+// (join path, source key). It is safe for concurrent use: reads take a
+// shard RLock, fills a shard Lock. One NavCache can back many Assigners
+// over the same database — Phase 3 shares one across every candidate
+// solution it costs, so repeated candidate scoring stops re-walking join
+// paths the previous candidates already resolved.
+//
+// Correctness requires only that the underlying database is not mutated
+// while the cache is live (the partitioning pipeline never mutates it).
+type NavCache struct {
+	shards [navShards]navShard
+}
+
+// NewNavCache returns an empty cache.
+func NewNavCache() *NavCache {
+	c := &NavCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[navKey]navVal)
+	}
+	return c
+}
+
+func (c *NavCache) shard(k navKey) *navShard {
+	h := fnv.New32a()
+	h.Write([]byte(k.path))
+	h.Write([]byte(k.key))
+	return &c.shards[h.Sum32()&(navShards-1)]
+}
+
+// get returns the memoized outcome for k.
+func (c *NavCache) get(k navKey) (navVal, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		cNavHits.Inc()
+	} else {
+		cNavMisses.Inc()
+	}
+	return v, ok
+}
+
+// put memoizes the outcome for k.
+func (c *NavCache) put(k navKey, v navVal) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Len reports the number of memoized navigations (approximate under
+// concurrent fills; exact when quiescent).
+func (c *NavCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package eval
+
+// Benchmarks of the sharded evaluator: the same Assigner scoring the same
+// trace at a sweep of worker counts, plus the cold-vs-warm navigation
+// cache. TPC-C/SEATS full-pipeline numbers live in bench_parallel_test.go
+// at the repository root (this package cannot import workloads without a
+// dependency cycle in the test build graph worth avoiding for a bench).
+//
+// Run: go test -bench=EvaluateParallel -benchmem ./internal/eval/
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fixture"
+)
+
+func BenchmarkEvaluateParallel(b *testing.B) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 4000, 7)
+	a, err := NewAssigner(d, joinExtensionSolution(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r := a.EvaluateParallel(tr, workers); r.Total != tr.Len() {
+					b.Fatalf("scored %d of %d", r.Total, tr.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNavCacheWarm measures the steady state the phase-3 combination
+// search runs in: every FK navigation served from the shared cache.
+func BenchmarkNavCacheWarm(b *testing.B) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 4000, 7)
+	nav := NewNavCache()
+	a, err := NewAssignerCached(d, joinExtensionSolution(8), nav)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Evaluate(tr) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Evaluate(tr)
+	}
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fixture"
+)
+
+// resultFingerprint renders the fields EvaluateParallel must reproduce
+// bit-identically for any worker count.
+func resultFingerprint(t *testing.T, r *Result) string {
+	t.Helper()
+	type classJSON struct {
+		Class       string `json:"class"`
+		Total       int    `json:"total"`
+		Distributed int    `json:"distributed"`
+	}
+	classes := make([]classJSON, 0)
+	for _, c := range r.Classes() {
+		classes = append(classes, classJSON{c.Class, c.Total, c.Distributed})
+	}
+	b, err := json.Marshal(struct {
+		Solution    string      `json:"solution"`
+		K           int         `json:"k"`
+		Total       int         `json:"total"`
+		Distributed int         `json:"distributed"`
+		TouchSum    int         `json:"touch_sum"`
+		Classes     []classJSON `json:"classes"`
+	}{r.Solution, r.K, r.Total, r.Distributed, r.TouchSum, classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestEvaluateParallelMatchesSequential is the evaluator half of the
+// determinism contract: sharded evaluation is bit-identical to the
+// sequential loop for any worker count, including counts larger than
+// the trace.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 500, 7)
+	for _, sol := range []struct {
+		name string
+		k    int
+	}{{"join-extension", 4}, {"naive", 4}, {"join-extension", 8}} {
+		s := joinExtensionSolution(sol.k)
+		if sol.name == "naive" {
+			s = naiveSolution(sol.k)
+		}
+		a, err := NewAssigner(d, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := resultFingerprint(t, a.Evaluate(tr))
+		for _, workers := range []int{1, 2, 3, 8, 16, 1000} {
+			got := resultFingerprint(t, a.EvaluateParallel(tr, workers))
+			if got != want {
+				t.Fatalf("%s k=%d workers=%d: result diverged\n got %s\nwant %s",
+					sol.name, sol.k, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestAssignerSharedStress hammers one shared Assigner from 16 goroutines
+// mixing PlaceKey, Distributed, and full EvaluateParallel calls — the
+// access pattern of the parallel phase-3 search. Run under -race this is
+// the concurrency-safety proof for Assigner + NavCache.
+func TestAssignerSharedStress(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 400, 11)
+	a, err := NewAssigner(d, joinExtensionSolution(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(t, a.Evaluate(tr))
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				switch (g + iter) % 3 {
+				case 0:
+					got := resultFingerprint(t, a.EvaluateParallel(tr, 1+g%4))
+					if got != want {
+						errs <- fmt.Errorf("goroutine %d iter %d: result diverged", g, iter)
+						return
+					}
+				case 1:
+					for i := range tr.Txns {
+						a.Distributed(&tr.Txns[i])
+					}
+				default:
+					for i := range tr.Txns {
+						for _, acc := range tr.Txns[i].Accesses {
+							a.PlaceKey(acc)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if a.NavCache().Len() == 0 {
+		t.Fatal("NavCache empty after stress: memoization not engaged")
+	}
+}
+
+// TestNavCacheSharedAcrossAssigners verifies the phase-3 sharing contract:
+// assigners over the same database reuse one NavCache, and placements stay
+// correct when solutions differ only in mapper (same join paths).
+func TestNavCacheSharedAcrossAssigners(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 200, 3)
+	nav := NewNavCache()
+	a1, err := NewAssignerCached(d, joinExtensionSolution(4), nav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := a1.Evaluate(tr)
+	filled := nav.Len()
+	if filled == 0 {
+		t.Fatal("first evaluation did not fill the shared cache")
+	}
+	a2, err := NewAssignerCached(d, joinExtensionSolution(8), nav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := a2.Evaluate(tr)
+	if nav.Len() != filled {
+		t.Fatalf("same join paths re-filled cache: %d -> %d entries", filled, nav.Len())
+	}
+	// Both are the paper's perfect partitioning; costs must both be 0 on
+	// the pure CustInfo portion and equal overall class totals.
+	if r1.Total != r2.Total {
+		t.Fatalf("totals diverged: %d vs %d", r1.Total, r2.Total)
+	}
+	if a1.NavCache() != a2.NavCache() {
+		t.Fatal("assigners do not share the NavCache")
+	}
+}
+
+// TestEvaluatePackageLevelUnchanged pins the package-level Evaluate
+// convenience wrapper to the Assigner path.
+func TestEvaluatePackageLevelUnchanged(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 100, 5)
+	sol := joinExtensionSolution(4)
+	r1, err := Evaluate(d, sol, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAssigner(d, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := a.EvaluateParallel(tr, 4)
+	if resultFingerprint(t, r1) != resultFingerprint(t, r2) {
+		t.Fatal("package-level Evaluate diverged from EvaluateParallel")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/workloads"
@@ -37,12 +38,12 @@ func Ablations(scale, txns, k int, seed int64) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, v := range variants {
-		sol, rep, err := core.Partition(core.Input{
+		sol, rep, err := core.Partition(context.Background(), core.Input{
 			DB:         r.db,
 			Procedures: workloads.Procedures(r.bench),
 			Train:      r.train,
 			Test:       r.test,
-		}, v.opts)
+		}, withParallelism(v.opts))
 		if err != nil {
 			return nil, err
 		}

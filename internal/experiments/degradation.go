@@ -2,13 +2,14 @@ package experiments
 
 // Throughput degradation under failures: the chaos-mode counterpart of
 // Figure 7. Each partitioner's solution is replayed by the fault-injected
-// cluster simulator (internal/sim.RunChaos) under a set of failure
+// cluster simulator (internal/sim, chaos mode) under a set of failure
 // scenarios; better partitionings — fewer distributed transactions —
 // should also degrade more gracefully, because a transaction pinned to
 // one partition has fewer ways to be blocked by a crashed node or a lost
 // coordination message.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/faults"
@@ -71,10 +72,14 @@ func Degradation(benchmark string, scenarios []string, k, scale, txns int, seed 
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.RunChaos(r.db, ap.sol, r.test, sim.ChaosConfig{}, sc, seed)
+			run, err := sim.New(sim.Scenario{
+				Mode: sim.ModeChaos, DB: r.db, Solution: ap.sol, Trace: r.test,
+				Faults: sc, Seed: seed,
+			}).Run(context.Background())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s under %q: %w", ap.name, sc.Name, err)
 			}
+			res := run.Chaos
 			row.BaselineTPS = res.BaselineTPS
 			row.Cells = append(row.Cells, DegradationCell{Scenario: sc.Name, Result: res})
 		}

@@ -11,6 +11,7 @@ package experiments
 // bar of the drift work.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -60,8 +61,9 @@ func Drift(scenarios []string, k, scale, txns, window, budget int, seed int64) (
 		}
 
 		// The deployed starting point: JECB trained on pre-drift traffic.
-		opts := core.Options{K: k, Seed: seed}
-		sol0, _, err := core.Partition(core.Input{
+		ctx := context.Background()
+		opts := withParallelism(core.Options{K: k, Seed: seed})
+		sol0, _, err := core.Partition(ctx, core.Input{
 			DB: d, Procedures: procs, Train: tr.Head(driftAt),
 		}, opts)
 		if err != nil {
@@ -71,7 +73,7 @@ func Drift(scenarios []string, k, scale, txns, window, budget int, seed int64) (
 		// The adaptive (and oracle) repartitioner: warm-started JECB on
 		// the drifted window, previous solution as the incumbent.
 		repart := func(win *trace.Trace, prev *partition.Solution) (*partition.Solution, error) {
-			res, err := core.Repartition(core.Input{
+			res, err := core.Repartition(ctx, core.Input{
 				DB: d, Procedures: procs, Train: win,
 			}, opts, prev, 0)
 			if err != nil {
@@ -80,15 +82,28 @@ func Drift(scenarios []string, k, scale, txns, window, budget int, seed int64) (
 			return res.Solution, nil
 		}
 
-		cfg := sim.DriftConfig{WindowSize: window, Budget: budget, DriftAt: driftAt}
+		base := sim.Scenario{
+			DB: d, Solution: sol0, Trace: tr,
+			Drift:       sim.DriftConfig{WindowSize: window, Budget: budget, DriftAt: driftAt},
+			Repartition: repart,
+		}
+		runMode := func(mode sim.Mode) (*sim.DriftResult, error) {
+			sc := base
+			sc.Mode = mode
+			res, err := sim.New(sc).Run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return res.Drift, nil
+		}
 		row := DriftRow{Scenario: name, DriftAt: driftAt}
-		if row.Static, err = sim.RunDriftStatic(d, sol0, tr, cfg); err != nil {
+		if row.Static, err = runMode(sim.ModeDriftStatic); err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q static: %w", name, err)
 		}
-		if row.Adaptive, err = sim.RunDriftAdaptive(d, sol0, tr, cfg, repart); err != nil {
+		if row.Adaptive, err = runMode(sim.ModeDriftAdaptive); err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q adaptive: %w", name, err)
 		}
-		if row.Oracle, err = sim.RunDriftOracle(d, sol0, tr, cfg, repart); err != nil {
+		if row.Oracle, err = runMode(sim.ModeDriftOracle); err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q oracle: %w", name, err)
 		}
 		rows = append(rows, row)

@@ -1,13 +1,14 @@
 package experiments
 
 // Durability under chaos: the JECB solution replayed through the durable
-// 2PC execution layer (internal/sim.RunChaosDurable) under each fault
+// 2PC execution layer (internal/sim, durable mode) under each fault
 // scenario, including the scripted mid-2PC crash points. Every cell ends
 // with a simulated full-cluster crash, WAL recovery with presumed-abort
 // resolution, and the consistency oracle: the recovered per-table digests
 // must match a fault-free re-execution of exactly the committed set.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,11 +58,14 @@ func Durability(benchmark string, scenarios []string, k, scale, txns int, seed i
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		res, err := sim.RunChaosDurable(r.db, sol, r.test, sim.DurableConfig{}, sc, seed, dir)
+		run, err := sim.New(sim.Scenario{
+			Mode: sim.ModeDurable, DB: r.db, Solution: sol, Trace: r.test,
+			Faults: sc, Seed: seed, WALDir: dir,
+		}).Run(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: durable replay under %q: %w", sc.Name, err)
 		}
-		rows = append(rows, DurabilityRow{Scenario: sc.Name, Result: res})
+		rows = append(rows, DurabilityRow{Scenario: sc.Name, Result: run.Durable})
 	}
 	return rows, nil
 }

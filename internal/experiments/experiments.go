@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,6 +21,23 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// parallelism is the worker count handed to every core.Partition call
+// the experiment drivers make (0 = GOMAXPROCS). Solutions and reports
+// are identical for any value — see core.Options.Parallelism — so this
+// only changes wall-clock time, never the rendered tables.
+var parallelism int
+
+// SetParallelism sets the search worker count for all subsequent
+// experiment runs (0 restores the GOMAXPROCS default).
+func SetParallelism(n int) { parallelism = n }
+
+// withParallelism stamps the package-level worker count onto a driver's
+// core options.
+func withParallelism(o core.Options) core.Options {
+	o.Parallelism = parallelism
+	return o
+}
 
 // run bundles a loaded benchmark with its traces.
 type run struct {
@@ -50,12 +68,12 @@ func loadBench(b workloads.Benchmark, scale, txns int, trainFrac float64, seed i
 }
 
 func (r *run) jecb(k int) (*partition.Solution, *core.Report, error) {
-	return core.Partition(core.Input{
+	return core.Partition(context.Background(), core.Input{
 		DB:         r.db,
 		Procedures: workloads.Procedures(r.bench),
 		Train:      r.train,
 		Test:       r.test,
-	}, core.Options{K: k})
+	}, withParallelism(core.Options{K: k}))
 }
 
 func (r *run) cost(sol *partition.Solution) (float64, error) {
@@ -130,9 +148,9 @@ func TPCCScaling(warehouses int, coverages []float64, partitions []int, seed int
 		// JECB uses a fixed modest trace: its outcome is independent of
 		// coverage (the paper's flat line).
 		jecbTrain := &trace.Trace{Txns: full.Txns[:txnsFor(coverages[0])]}
-		sol, _, err := core.Partition(core.Input{
+		sol, _, err := core.Partition(context.Background(), core.Input{
 			DB: d, Procedures: workloads.Procedures(b), Train: jecbTrain, Test: test,
-		}, core.Options{K: k})
+		}, withParallelism(core.Options{K: k}))
 		if err != nil {
 			return nil, err
 		}
@@ -229,9 +247,9 @@ func TPCCResources(warehouses int, sizes []TrainSize, k int, seed int64) ([]Reso
 	}
 	train := &trace.Trace{Txns: full.Txns[:jecbTxns]}
 	res, err := eval.Measure(func() error {
-		_, _, err := core.Partition(core.Input{
+		_, _, err := core.Partition(context.Background(), core.Input{
 			DB: d, Procedures: workloads.Procedures(b), Train: train,
-		}, core.Options{K: k})
+		}, withParallelism(core.Options{K: k}))
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,20 @@
+package graphpart
+
+import "hash/fnv"
+
+// DeriveSeed maps a base seed and a label to a child seed, stably across
+// runs, platforms, and worker counts (FNV-1a over the seed bytes and the
+// label). The parallel JECB search derives one seed per transaction class
+// so every class's min-cut fallback is reproducible regardless of which
+// worker solves it or in what order classes finish — sharing a single
+// rand.Source across a worker pool would make results schedule-dependent.
+func DeriveSeed(seed int64, label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}

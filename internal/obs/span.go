@@ -41,6 +41,35 @@ type Span struct {
 	allocBytes int64
 	done       bool
 	children   []*Span
+	attrs      map[string]any
+}
+
+// SetAttr attaches a key/value attribute to the span (e.g. the worker
+// count a parallel phase ran with, or the number of items it processed).
+// Attributes appear in SpanSnapshot/JSON sorted by key and in the text
+// Report. SetAttr on a nil span is a no-op, mirroring End.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// Attr returns a previously set attribute (nil, false on a nil span or a
+// missing key).
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.attrs[key]
+	return v, ok
 }
 
 type traceCtxKey struct{}
@@ -168,6 +197,7 @@ type SpanSnapshot struct {
 	Name       string         `json:"name"`
 	DurationNS int64          `json:"duration_ns"`
 	AllocBytes int64          `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
 }
 
@@ -181,6 +211,12 @@ func (s *Span) snapshot() SpanSnapshot {
 		Name:       s.name,
 		DurationNS: dur.Nanoseconds(),
 		AllocBytes: s.allocBytes,
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
 	}
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
@@ -230,6 +266,16 @@ func writeReport(sb *strings.Builder, s SpanSnapshot, depth int, rootNS int64, w
 		formatDuration(time.Duration(s.DurationNS)), pct)
 	if s.AllocBytes != 0 {
 		fmt.Fprintf(sb, "  %8s alloc", formatBytes(s.AllocBytes))
+	}
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(sb, "  %s=%v", k, s.Attrs[k])
+		}
 	}
 	sb.WriteByte('\n')
 	for _, c := range s.Children {

@@ -120,11 +120,15 @@ func (e *EpochRouter) SwapSolution(sol *partition.Solution) (uint64, error) {
 	return e.Swap(rt)
 }
 
-// Route is the health-oblivious fast path against the current epoch. It
-// returns the partition set and the epoch that produced it.
-func (e *EpochRouter) Route(class string, params map[string]value.Value) ([]int, uint64) {
+// RoutePartitions is the health-oblivious fast path against the current
+// epoch. It returns the partition set and the epoch that produced it.
+//
+// Deprecated: use Route(ctx, Request) — with a nil Health it produces the
+// same partition sets via Decision.Partitions. RoutePartitions remains
+// for callers that need the allocation-free health-oblivious fast path.
+func (e *EpochRouter) RoutePartitions(class string, params map[string]value.Value) ([]int, uint64) {
 	st := e.cur.Load()
-	return st.rt.Route(class, params), st.epoch
+	return st.rt.RoutePartitions(class, params), st.epoch
 }
 
 // RouteSafe routes against the current epoch with the full failure-aware
@@ -133,6 +137,9 @@ func (e *EpochRouter) Route(class string, params map[string]value.Value) ([]int,
 // catches up — rebuilds the router over the solution's current
 // placements, installs it as a new epoch — and retries once. The
 // returned error wraps ErrStaleLookup only when catch-up is impossible.
+//
+// Deprecated: new code should call Route(ctx, Request); RouteSafe remains
+// as the implementation behind it.
 func (e *EpochRouter) RouteSafe(class string, params map[string]value.Value, h faults.Health) (Decision, uint64, error) {
 	st := e.cur.Load()
 	dec, err := st.rt.RouteSafe(class, params, h)

@@ -1,6 +1,7 @@
 package router_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,12 +35,17 @@ func Example() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	fmt.Println("routing on:", rt.RoutingParam("CustInfo"))
 	for cust := int64(1); cust <= 2; cust++ {
-		parts := rt.Route("CustInfo", map[string]value.Value{
-			"cust_id": value.NewInt(cust),
+		dec, err := rt.Route(ctx, router.Request{
+			Class:  "CustInfo",
+			Params: map[string]value.Value{"cust_id": value.NewInt(cust)},
 		})
-		fmt.Printf("customer %d -> partitions %v\n", cust, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("customer %d -> partitions %v\n", cust, dec.Partitions)
 	}
 	// Output:
 	// routing on: cust_id

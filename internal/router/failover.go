@@ -178,6 +178,9 @@ func (r *Router) Refresh() ([]string, error) {
 //  2. degraded: a read's reachable partitions still serve (partial data);
 //  3. broadcast reads shrink to the reachable nodes;
 //  4. writes never drop participants — they fail with ErrPartitionDown.
+//
+// Deprecated: new code should call Route(ctx, Request); RouteSafe remains
+// as the implementation behind it.
 func (r *Router) RouteSafe(class string, params map[string]value.Value, h faults.Health) (Decision, error) {
 	cRoutes.Inc()
 	if h == nil {

@@ -1,0 +1,45 @@
+package router
+
+import (
+	"context"
+
+	"repro/internal/faults"
+	"repro/internal/value"
+)
+
+// Request is one routing request: the transaction class, its invocation
+// parameters, and (optionally) the cluster-health view the decision must
+// respect. It unifies the two historical entry points — the
+// health-oblivious fast path Route(class, params) []int and the
+// failure-aware RouteSafe(class, params, health) — behind one canonical
+// call: Route(ctx, Request) (Decision, error). A nil Health routes as if
+// every node were up, which reproduces the old fast path's partition
+// sets (broadcast on unknown classes and unseen values) while still
+// surfacing staleness as ErrStaleLookup instead of silently routing
+// against outdated lookup tables.
+type Request struct {
+	// Class is the transaction class to route.
+	Class string
+	// Params are the invocation's parameters (the routing value is read
+	// from the class's routing parameter).
+	Params map[string]value.Value
+	// Health is the cluster-health view; nil means all nodes up.
+	Health faults.Health
+}
+
+// Route is the canonical routing entry point: context-first, config-first
+// (Request), with the full failure-aware fallback ladder of the old
+// RouteSafe. See RouteSafe for the ladder's semantics; see doc.go at the
+// repository root for the migration table from the old entry points.
+func (r *Router) Route(ctx context.Context, req Request) (Decision, error) {
+	_ = ctx // reserved: cancellation/tracing; routing is on the hot path
+	return r.RouteSafe(req.Class, req.Params, req.Health)
+}
+
+// Route is EpochRouter's canonical entry point: Route against the
+// current epoch, returning the epoch the decision was made under.
+// Stale epochs catch up and retry once (see RouteSafe).
+func (e *EpochRouter) Route(ctx context.Context, req Request) (Decision, uint64, error) {
+	_ = ctx
+	return e.RouteSafe(req.Class, req.Params, req.Health)
+}

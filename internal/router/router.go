@@ -296,10 +296,16 @@ func (r *Router) fwdReach(from, to schema.ColumnRef) bool {
 	return false
 }
 
-// Route returns the partitions an invocation must run on. A single-element
-// result is a single-partition (local) execution; the full partition list
-// means broadcast. Unknown classes and unseen routing values broadcast.
-func (r *Router) Route(class string, params map[string]value.Value) []int {
+// RoutePartitions returns the partitions an invocation must run on. A
+// single-element result is a single-partition (local) execution; the full
+// partition list means broadcast. Unknown classes and unseen routing
+// values broadcast.
+//
+// Deprecated: use Route(ctx, Request) — with a nil Health it produces the
+// same partition sets via Decision.Partitions, while also surfacing stale
+// lookup tables as an error. RoutePartitions remains for callers that
+// need the allocation-free health-oblivious fast path.
+func (r *Router) RoutePartitions(class string, params map[string]value.Value) []int {
 	cRoutes.Inc()
 	route, ok := r.routes[class]
 	if !ok || route.broadcast {

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestRouterOnTPCE(t *testing.T) {
 	}
 	full := workloads.GenerateTrace(b, d, 4000, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
-	sol, _, err := core.Partition(core.Input{
+	sol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {
@@ -67,7 +68,7 @@ func TestRouterOnTPCE(t *testing.T) {
 		for p := range parts {
 			actual = p
 		}
-		routed := rt.Route(txn.Class, txn.Params)
+		routed := rt.RoutePartitions(txn.Class, txn.Params)
 		checked++
 		if len(routed) == 1 {
 			singleRouted++

@@ -126,12 +126,17 @@ func (r *ChaosResult) String() string {
 // lost, otherwise it aborts, charges wasted work to the reachable
 // participants, and retries under capped exponential backoff with jitter
 // until the retry policy's attempt budget is exhausted.
+//
+// Deprecated: use New(Scenario{Mode: ModeChaos, ...}).Run(ctx).
 func RunChaos(d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
 	return RunChaosContext(context.Background(), d, sol, tr, cfg, sc, seed)
 }
 
 // RunChaosContext is RunChaos under a phase span ("sim/chaos").
+//
+// Deprecated: use New(Scenario{Mode: ModeChaos, ...}).Run(ctx).
+// RunChaosContext remains as the implementation behind it.
 func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
 	_, span := obs.StartSpan(ctx, "sim/chaos")

@@ -432,6 +432,8 @@ type cpState struct {
 // full-cluster crash at end of run — WAL recovery with presumed-abort
 // resolution and a consistency oracle that re-executes exactly the
 // committed set on fault-free stores and compares per-table digests.
+//
+// Deprecated: use New(Scenario{Mode: ModeDurable, ...}).Run(ctx).
 func RunChaosDurable(d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg DurableConfig, sc *faults.Scenario, seed int64, walDir string) (*DurableResult, error) {
 	return RunChaosDurableContext(context.Background(), d, sol, tr, cfg, sc, seed, walDir)
@@ -439,6 +441,9 @@ func RunChaosDurable(d *db.DB, sol *partition.Solution, tr *trace.Trace,
 
 // RunChaosDurableContext is RunChaosDurable under a phase span
 // ("sim/durable").
+//
+// Deprecated: use New(Scenario{Mode: ModeDurable, ...}).Run(ctx).
+// RunChaosDurableContext remains as the implementation behind it.
 func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg DurableConfig, sc *faults.Scenario, seed int64, walDir string) (*DurableResult, error) {
 	_, span := obs.StartSpan(ctx, "sim/durable")

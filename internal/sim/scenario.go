@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Four PRs of organic growth left this package with six mode-specific
+// entry points (Run, RunChaos, RunChaosDurable, RunDriftStatic,
+// RunDriftAdaptive, RunDriftOracle) plus their *Context twins. The
+// config-first API below replaces the sprawl with one entry point:
+//
+//	res, err := sim.New(sim.Scenario{
+//	    Mode:     sim.ModeChaos,
+//	    DB:       d,
+//	    Solution: sol,
+//	    Trace:    tr,
+//	    Chaos:    sim.ChaosConfig{...},
+//	    Faults:   scenario,
+//	    Seed:     42,
+//	}).Run(ctx)
+//
+// The old functions remain as thin deprecated wrappers; see doc.go at the
+// repository root for the migration table.
+
+// Mode selects which replay a Scenario describes.
+type Mode int
+
+const (
+	// ModePlain is the fault-free analytic replay (sim.Run).
+	ModePlain Mode = iota
+	// ModeChaos is the fault-injected replay (sim.RunChaos).
+	ModeChaos
+	// ModeDurable is the WAL-backed 2PC replay with end-of-run crash
+	// recovery and the consistency oracle (sim.RunChaosDurable).
+	ModeDurable
+	// ModeDriftStatic replays window-by-window under a fixed solution
+	// (sim.RunDriftStatic).
+	ModeDriftStatic
+	// ModeDriftAdaptive replays with the detector-triggered adaptation
+	// loop (sim.RunDriftAdaptive). Requires Repartition.
+	ModeDriftAdaptive
+	// ModeDriftOracle replays with a free scripted swap at Drift.DriftAt
+	// (sim.RunDriftOracle). Requires Repartition and Drift.DriftAt.
+	ModeDriftOracle
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeChaos:
+		return "chaos"
+	case ModeDurable:
+		return "durable"
+	case ModeDriftStatic:
+		return "drift-static"
+	case ModeDriftAdaptive:
+		return "drift-adaptive"
+	case ModeDriftOracle:
+		return "drift-oracle"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Scenario is the full description of one simulation: the cluster inputs
+// every mode shares, the mode selector, and per-mode parameter blocks
+// (only the selected mode's block is read; zero values mean defaults).
+type Scenario struct {
+	// Mode selects the replay; the zero value is ModePlain.
+	Mode Mode
+
+	// DB, Solution and Trace are required by every mode.
+	DB       *db.DB
+	Solution *partition.Solution
+	Trace    *trace.Trace
+
+	// Cost is ModePlain's analytic cost model. The other modes embed
+	// their own cost model inside their config blocks (Chaos.Config,
+	// Durable.ChaosConfig.Config, Drift.Config).
+	Cost Config
+	// Chaos parameterizes ModeChaos.
+	Chaos ChaosConfig
+	// Durable parameterizes ModeDurable.
+	Durable DurableConfig
+	// Drift parameterizes the three drift modes.
+	Drift DriftConfig
+
+	// Faults is the fault scenario of ModeChaos / ModeDurable (nil means
+	// the builtin "none" scenario); Seed drives its injector.
+	Faults *faults.Scenario
+	Seed   int64
+	// WALDir is ModeDurable's per-partition log directory (required).
+	WALDir string
+	// Repartition is the adaptation callback of ModeDriftAdaptive /
+	// ModeDriftOracle.
+	Repartition RepartitionFunc
+}
+
+// RunResult is the outcome of Runner.Run: Mode echoes the scenario and
+// exactly one result pointer is non-nil (the three drift modes share
+// Drift).
+type RunResult struct {
+	Mode    Mode
+	Plain   *Result
+	Chaos   *ChaosResult
+	Durable *DurableResult
+	Drift   *DriftResult
+}
+
+// String renders the selected mode's result summary.
+func (r *RunResult) String() string {
+	switch {
+	case r.Plain != nil:
+		return r.Plain.String()
+	case r.Chaos != nil:
+		return r.Chaos.String()
+	case r.Durable != nil:
+		return r.Durable.String()
+	case r.Drift != nil:
+		return r.Drift.String()
+	default:
+		return r.Mode.String() + ": no result"
+	}
+}
+
+// Runner is a validated, runnable scenario. Construct with New.
+type Runner struct {
+	sc Scenario
+}
+
+// New wraps a scenario for running. Validation happens in Run so that
+// construction can never fail silently mid-expression.
+func New(sc Scenario) *Runner { return &Runner{sc: sc} }
+
+// Run executes the scenario, dispatching on Mode. The context threads
+// phase tracing (obs.WithTrace); every mode runs under a span named
+// sim/<mode>.
+func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
+	sc := r.sc
+	if sc.DB == nil {
+		return nil, fmt.Errorf("sim: scenario without a database")
+	}
+	if sc.Solution == nil {
+		return nil, fmt.Errorf("sim: scenario without a solution")
+	}
+	if sc.Trace == nil {
+		return nil, fmt.Errorf("sim: scenario without a trace")
+	}
+	out := &RunResult{Mode: sc.Mode}
+	switch sc.Mode {
+	case ModePlain:
+		_, span := obs.StartSpan(ctx, "sim/plain")
+		defer span.End()
+		res, err := Run(sc.DB, sc.Solution, sc.Trace, sc.Cost)
+		if err != nil {
+			return nil, err
+		}
+		out.Plain = res
+	case ModeChaos:
+		res, err := RunChaosContext(ctx, sc.DB, sc.Solution, sc.Trace, sc.Chaos, sc.faults(), sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Chaos = res
+	case ModeDurable:
+		if sc.WALDir == "" {
+			return nil, fmt.Errorf("sim: durable scenario without a WAL directory")
+		}
+		res, err := RunChaosDurableContext(ctx, sc.DB, sc.Solution, sc.Trace, sc.Durable, sc.faults(), sc.Seed, sc.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		out.Durable = res
+	case ModeDriftStatic:
+		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeStatic, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Drift = res
+	case ModeDriftAdaptive:
+		if sc.Repartition == nil {
+			return nil, fmt.Errorf("sim: adaptive drift scenario without a repartition func")
+		}
+		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeAdaptive, sc.Repartition)
+		if err != nil {
+			return nil, err
+		}
+		out.Drift = res
+	case ModeDriftOracle:
+		if sc.Repartition == nil {
+			return nil, fmt.Errorf("sim: oracle drift scenario without a repartition func")
+		}
+		if sc.Drift.DriftAt <= 0 {
+			return nil, fmt.Errorf("sim: oracle drift scenario requires Drift.DriftAt")
+		}
+		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeOracle, sc.Repartition)
+		if err != nil {
+			return nil, err
+		}
+		out.Drift = res
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", int(sc.Mode))
+	}
+	return out, nil
+}
+
+// faults resolves the scenario's fault description, defaulting to the
+// builtin "none" scenario so chaos/durable runs without faults behave
+// like the fault-free baseline.
+func (sc *Scenario) faults() *faults.Scenario {
+	if sc.Faults != nil {
+		return sc.Faults
+	}
+	none, err := faults.Builtin("none", sc.Solution.K)
+	if err != nil {
+		// The builtin registry always contains "none"; an empty scenario
+		// is the equivalent fallback.
+		return &faults.Scenario{Name: "none"}
+	}
+	return none
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/fixture"
+	"repro/internal/partition"
+)
+
+func scenarioSolution(k int) *partition.Solution {
+	sol := partition.NewSolution("scatter", k)
+	sol.Set(partition.NewByPath("TRADE", singleCol("TRADE", "T_ID"), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT", singleCol("CUSTOMER_ACCOUNT", "CA_ID"), partition.NewHash(k)))
+	sol.Set(partition.NewReplicated("HOLDING_SUMMARY"))
+	return sol
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestScenarioMatchesLegacyEntryPoints pins the redesign's compatibility
+// contract: New(Scenario{...}).Run produces byte-identical results to the
+// deprecated mode-specific functions it replaces, for every mode.
+func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 400, 2)
+	sol := scenarioSolution(2)
+	ctx := context.Background()
+
+	t.Run("plain", func(t *testing.T) {
+		want, err := Run(d, sol, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(Scenario{DB: d, Solution: sol, Trace: tr}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Plain == nil || got.Mode != ModePlain {
+			t.Fatalf("plain result missing: %+v", got)
+		}
+		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Plain)) {
+			t.Error("scenario plain result diverged from sim.Run")
+		}
+	})
+
+	t.Run("chaos", func(t *testing.T) {
+		fsc, err := faults.Builtin("flaky-network", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunChaos(d, sol, tr, ChaosConfig{}, fsc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(Scenario{
+			Mode: ModeChaos, DB: d, Solution: sol, Trace: tr,
+			Faults: fsc, Seed: 7,
+		}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Chaos)) {
+			t.Error("scenario chaos result diverged from sim.RunChaos")
+		}
+	})
+
+	t.Run("durable", func(t *testing.T) {
+		fsc, err := faults.Builtin("part-crash", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunChaosDurable(d, sol, tr, DurableConfig{}, fsc, 7, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(Scenario{
+			Mode: ModeDurable, DB: d, Solution: sol, Trace: tr,
+			Faults: fsc, Seed: 7, WALDir: t.TempDir(),
+		}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Durable)) {
+			t.Error("scenario durable result diverged from sim.RunChaosDurable")
+		}
+	})
+
+	t.Run("drift-static", func(t *testing.T) {
+		want, err := RunDriftStatic(d, sol, tr, DriftConfig{WindowSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(Scenario{
+			Mode: ModeDriftStatic, DB: d, Solution: sol, Trace: tr,
+			Drift: DriftConfig{WindowSize: 100},
+		}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Drift)) {
+			t.Error("scenario drift-static result diverged from sim.RunDriftStatic")
+		}
+	})
+}
+
+// TestScenarioValidation covers the config-first API's error paths.
+func TestScenarioValidation(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 50, 2)
+	sol := scenarioSolution(2)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"nil db", Scenario{Solution: sol, Trace: tr}},
+		{"nil solution", Scenario{DB: d, Trace: tr}},
+		{"nil trace", Scenario{DB: d, Solution: sol}},
+		{"durable without wal dir", Scenario{Mode: ModeDurable, DB: d, Solution: sol, Trace: tr}},
+		{"adaptive without repart", Scenario{Mode: ModeDriftAdaptive, DB: d, Solution: sol, Trace: tr}},
+		{"oracle without repart", Scenario{Mode: ModeDriftOracle, DB: d, Solution: sol, Trace: tr}},
+		{"unknown mode", Scenario{Mode: Mode(99), DB: d, Solution: sol, Trace: tr}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.sc).Run(ctx); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestScenarioChaosDefaultsToNoFaults: a chaos scenario without Faults
+// runs against the builtin "none" scenario (no injected failures).
+func TestScenarioChaosDefaultsToNoFaults(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 200, 2)
+	sol := scenarioSolution(2)
+	got, err := New(Scenario{Mode: ModeChaos, DB: d, Solution: sol, Trace: tr, Seed: 1}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chaos.PermanentFailures != 0 {
+		t.Errorf("no-fault chaos run lost %d transactions", got.Chaos.PermanentFailures)
+	}
+	if got.Chaos.Committed != got.Chaos.Offered {
+		t.Errorf("committed %d of %d offered under no faults", got.Chaos.Committed, got.Chaos.Offered)
+	}
+}

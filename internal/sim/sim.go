@@ -88,6 +88,10 @@ func (r *Result) String() string {
 }
 
 // Run simulates the trace under the solution.
+//
+// Deprecated: use the config-first entry point —
+// New(Scenario{Mode: ModePlain, DB: d, Solution: sol, Trace: tr,
+// Cost: cfg}).Run(ctx). Run remains as the implementation behind it.
 func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	a, err := eval.NewAssigner(d, sol)

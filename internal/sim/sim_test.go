@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -110,7 +111,7 @@ func TestSweepMonotoneShape(t *testing.T) {
 	// cluster (every write charges every node), which is precisely the
 	// effect the simulator exists to expose.
 	results, err := Sweep(d, test, []int{1, 2, 4, 8}, Config{}, func(k int) (*partition.Solution, error) {
-		sol, _, err := core.Partition(core.Input{
+		sol, _, err := core.Partition(context.Background(), core.Input{
 			DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 		}, core.Options{K: k, ReadMostlyThreshold: 0.005})
 		return sol, err

@@ -1,6 +1,7 @@
 package auctionmark
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestJECBOnAuctionMark(t *testing.T) {
 	}
 	full := workloads.GenerateTrace(b, d, 2500, 2)
 	train, test := full.TrainTest(0.4, rand.New(rand.NewSource(3)))
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {
@@ -85,7 +86,7 @@ func TestJECBBeatsSchismAtLowCoverage(t *testing.T) {
 	train := full.Head(300) // ~10% coverage of a 400-user database
 	test := full.Head(0)
 	test.Txns = full.Txns[300:]
-	js, _, err := core.Partition(core.Input{
+	js, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train,
 	}, core.Options{K: 8})
 	if err != nil {

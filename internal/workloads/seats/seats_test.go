@@ -1,6 +1,7 @@
 package seats
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestJECBMakesSEATSPartitionable(t *testing.T) {
 	}
 	full := workloads.GenerateTrace(b, d, 2500, 2)
 	train, test := full.TrainTest(0.4, rand.New(rand.NewSource(3)))
-	sol, _, err := core.Partition(core.Input{
+	sol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,7 +52,7 @@ func costs(t *testing.T, schemaFrac float64, k int) (jecb, column float64) {
 	}
 	full := workloads.GenerateTrace(b, d, 1200, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
-	jecbSol, _, err := core.Partition(core.Input{
+	jecbSol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: k})
 	if err != nil {

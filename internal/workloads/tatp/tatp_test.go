@@ -1,6 +1,7 @@
 package tatp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestJECBFindsSubscriberPartitioning(t *testing.T) {
 	}
 	full := workloads.GenerateTrace(b, d, 2500, 2)
 	train, test := full.TrainTest(0.4, rand.New(rand.NewSource(3)))
-	sol, _, err := core.Partition(core.Input{
+	sol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {
@@ -92,7 +93,7 @@ func TestSchismCoverageGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jecbSol, _, err := core.Partition(core.Input{
+	jecbSol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train,
 	}, core.Options{K: 8})
 	if err != nil {

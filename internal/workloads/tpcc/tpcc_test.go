@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -90,7 +91,7 @@ func TestJECBFindsWarehousePartitioning(t *testing.T) {
 	}
 	full := workloads.GenerateTrace(b, d, 2000, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB:         d,
 		Procedures: workloads.Procedures(b),
 		Train:      train,
@@ -149,7 +150,7 @@ func TestWarehousePartitioningScaleInvariance(t *testing.T) {
 	train, test := full.TrainTest(0.4, rand.New(rand.NewSource(3)))
 	var costs []float64
 	for _, k := range []int{2, 8, 16} {
-		sol, _, err := core.Partition(core.Input{
+		sol, _, err := core.Partition(context.Background(), core.Input{
 			DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 		}, core.Options{K: k})
 		if err != nil {

@@ -1,6 +1,7 @@
 package tpce
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func tpceRun(t *testing.T) (*core.Report, *eval.Result) {
 	}
 	full := workloads.GenerateTrace(b, d, 4000, 2)
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
-	sol, rep, err := core.Partition(core.Input{
+	sol, rep, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {

@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func TestFullPipelineRoundTrip(t *testing.T) {
 	train, test := full.TrainTest(0.5, rand.New(rand.NewSource(3)))
 
 	// 1. Partition.
-	sol, _, err := core.Partition(core.Input{
+	sol, _, err := core.Partition(context.Background(), core.Input{
 		DB: d, Procedures: workloads.Procedures(b), Train: train, Test: test,
 	}, core.Options{K: 8})
 	if err != nil {
@@ -77,8 +78,13 @@ func TestFullPipelineRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	single := 0
+	ctx := context.Background()
 	for i := range test.Txns {
-		if parts := rt.Route(test.Txns[i].Class, test.Txns[i].Params); len(parts) == 1 {
+		dec, err := rt.Route(ctx, router.Request{Class: test.Txns[i].Class, Params: test.Txns[i].Params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Local() {
 			single++
 		}
 	}
