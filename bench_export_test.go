@@ -59,6 +59,9 @@ func TestBenchExport(t *testing.T) {
 		{"Evaluate", BenchmarkEvaluate},
 		{"GraphPartition", BenchmarkGraphPartition},
 		{"ValueHash", BenchmarkValueHash},
+		{"HDRObserve", BenchmarkHDRObserve},
+		{"TraceEvent", BenchmarkTraceEvent},
+		{"TraceEventDisabled", BenchmarkTraceEventDisabled},
 	}
 	doc := benchExport{
 		GoVersion: runtime.Version(),

@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fixture"
 	"repro/internal/graphpart"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schism"
 	"repro/internal/trace"
@@ -341,5 +342,42 @@ func BenchmarkValueHash(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = v.Hash()
+	}
+}
+
+// BenchmarkHDRObserve measures one latency observation into the
+// log-linear HDR histogram — the per-commit hot path of every chaos and
+// durable replay. It must stay allocation-free.
+func BenchmarkHDRObserve(b *testing.B) {
+	var h obs.HDR
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*977 + 13)
+	}
+}
+
+// BenchmarkTraceEvent measures one flight-recorder Record call — the
+// per-event cost of transaction tracing when a recorder is attached. It
+// must stay allocation-free.
+func BenchmarkTraceEvent(b *testing.B) {
+	rec := obs.NewRecorder(1 << 16)
+	txn := obs.TxnID(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(txn, obs.EvRoute, 3, 1, float64(i), 0x0102)
+	}
+}
+
+// BenchmarkTraceEventDisabled measures the disabled path: a nil recorder
+// must cost one branch and zero allocations.
+func BenchmarkTraceEventDisabled(b *testing.B) {
+	var rec *obs.Recorder
+	txn := obs.TxnID(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(txn, obs.EvRoute, 3, 1, float64(i), 0x0102)
 	}
 }

@@ -328,12 +328,14 @@ func chaos(quick bool, seed int64) error {
 	for _, r := range rows {
 		row := fmt.Sprintf("| %s | %.0f |", r.Approach, r.BaselineTPS)
 		for _, c := range r.Cells {
-			row += fmt.Sprintf(" %.0f tps (-%.0f%%, %.1f%% avail) |",
-				c.Result.EffectiveTPS, c.Result.DegradationPct, c.Result.AvailabilityPct)
+			row += fmt.Sprintf(" %.0f tps (-%.0f%%, %.1f%% avail, p99 %.0fms) |",
+				c.Result.EffectiveTPS, c.Result.DegradationPct, c.Result.AvailabilityPct,
+				1e3*c.Result.LatencyP99)
 		}
 		fmt.Println(row)
 	}
-	fmt.Println("\n(cells: effective tps under the scenario, relative degradation, availability)")
+	fmt.Println("\n(cells: effective tps under the scenario, relative degradation, availability,")
+	fmt.Println(" p99 commit latency in virtual milliseconds)")
 	return nil
 }
 

@@ -10,6 +10,12 @@
 //	-metrics out.json   dump the obs metrics registry as JSON on exit
 //	-trace-report       print the phase span tree (load/trace/partition/...)
 //	-debug-addr :8080   serve /debug/pprof, /debug/vars, /metrics while running
+//	-flight-dump f.json dump the transaction flight recorder as sorted JSON on
+//	                    exit (always written, even when the run fails — it is
+//	                    the post-mortem artifact). Dumps are byte-identical
+//	                    for the same flags and seeds.
+//	-flight-cap 65536   flight-recorder capacity in events (ring buffer:
+//	                    oldest events are overwritten past the cap)
 //
 // Chaos flags (fault-injected replay of the test trace):
 //
@@ -45,6 +51,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -87,6 +94,12 @@ type driftOpts struct {
 	window   int
 }
 
+// flightOpts bundles the flight-recorder flags.
+type flightOpts struct {
+	dump string
+	cap  int
+}
+
 func main() {
 	var (
 		benchmark   = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
@@ -112,14 +125,18 @@ func main() {
 		driftScenario = flag.String("drift", "", "drift scenario to replay with the adaptation loop ("+strings.Join(drift.BuiltinNames(), ", ")+"); synthetic benchmark only")
 		driftBudget   = flag.Int("drift-budget", 1500, "total moved-tuple budget for drift migrations (<=0 = unbounded)")
 		driftWindow   = flag.Int("drift-window", 500, "drift detection window in transactions")
+
+		flightDump = flag.String("flight-dump", "", "write the transaction flight recorder as sorted JSON to this file on exit (even on failure)")
+		flightCap  = flag.Int("flight-cap", 65536, "flight-recorder capacity in events (oldest overwritten past the cap)")
 	)
 	flag.Parse()
 
 	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario,
 		walDir: *walDir, recover: *recoverRun}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
+	fo := flightOpts{dump: *flightDump, cap: *flightCap}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
-		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do); err != nil {
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do, fo); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
@@ -128,7 +145,7 @@ func main() {
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
 func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int,
-	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts) error {
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts, fo flightOpts) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
 		srv, err := obs.ServeDebug(debugAddr, obs.Default)
@@ -140,8 +157,33 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 	}
 
 	ctx, tr := obs.WithTrace(context.Background(), "jecb/run")
+	// The flight recorder rides the context into every stage (the sim
+	// scenarios pick it up via obs.ContextRecorder). It is allocated when a
+	// dump was requested OR when chaos is on — a chaos run whose oracle
+	// diverges dumps its recorder next to the WALs even without the flag.
+	var rec *obs.Recorder
+	if fo.dump != "" || co.enabled {
+		rec = obs.NewRecorder(fo.cap)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do)
 	tr.Finish()
+	// Dump BEFORE the error check: the flight recorder is the post-mortem
+	// artifact, so a failed run (oracle divergence, panic) must still write.
+	// A failed write errors the run like -out/-metrics do, but never masks
+	// the run's own error.
+	if fo.dump != "" && rec != nil {
+		if derr := rec.DumpFile(fo.dump); derr != nil {
+			if err == nil {
+				err = fmt.Errorf("flight dump: %w", derr)
+			} else {
+				fmt.Fprintln(os.Stderr, "jecb: flight dump:", derr)
+			}
+		} else {
+			fmt.Printf("flight recorder: %d events (%d dropped) written to %s\n",
+				len(rec.Events()), rec.Dropped(), fo.dump)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -278,7 +320,7 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 	// Routing stage: build the runtime router from the code analysis and
 	// route every test transaction, reporting how many go to one partition.
 	_, sRoute := obs.StartSpan(ctx, "route")
-	err = routeStage(ctx, d, sol, b, test)
+	err = routeStage(ctx, d, sol, b, test, seed)
 	sRoute.End()
 	if err != nil {
 		return nil, err
@@ -416,6 +458,14 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 	}
 	fmt.Println("  " + string(ddata))
 	if !dres.OracleOK {
+		// Post-mortem: drop the flight recorder next to the WALs it
+		// indicts, whether or not -flight-dump was given.
+		if rec := obs.ContextRecorder(ctx); rec != nil {
+			dump := filepath.Join(co.walDir, "flight.json")
+			if derr := rec.DumpFile(dump); derr == nil {
+				fmt.Println("  flight recorder dumped to", dump)
+			}
+		}
 		return fmt.Errorf("durable replay: consistency oracle DIVERGED under scenario %q", sc.Name)
 	}
 	return nil
@@ -471,8 +521,11 @@ func recoverStage(ctx context.Context, b workloads.Benchmark, scale int, seed in
 }
 
 // routeStage builds a router for the solution and routes the test trace's
-// invocations, printing the local / multi-partition / broadcast mix.
-func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace) error {
+// invocations, printing the local / multi-partition / broadcast mix. Each
+// invocation is routed under its deterministic flight-recorder trace id
+// (seed + arrival index), so a -flight-dump of a plain run records the
+// routing decision stream.
+func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace, seed int64) error {
 	var analyses []*sqlparse.Analysis
 	for _, proc := range workloads.Procedures(b) {
 		a, err := sqlparse.Analyze(proc, d.Schema())
@@ -485,10 +538,12 @@ func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b worklo
 	if err != nil {
 		return err
 	}
+	rec := obs.ContextRecorder(ctx)
 	local, multi, broadcast := 0, 0, 0
 	for i := range test.Txns {
 		t := &test.Txns[i]
-		dec, err := rt.Route(ctx, router.Request{Class: t.Class, Params: t.Params})
+		dec, err := rt.Route(ctx, router.Request{Class: t.Class, Params: t.Params,
+			TxnID: obs.TxnID(seed, i), VT: float64(i), Recorder: rec})
 		if err != nil {
 			return err
 		}

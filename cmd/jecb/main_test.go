@@ -45,8 +45,10 @@ func TestRealMainArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	solPath := filepath.Join(dir, "sol.json")
 	metricsPath := filepath.Join(dir, "m.json")
+	flightPath := filepath.Join(dir, "flight.json")
 	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1, 0,
-		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{}); err != nil {
+		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{},
+		flightOpts{dump: flightPath, cap: 1 << 16}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(solPath)
@@ -70,6 +72,18 @@ func TestRealMainArtifacts(t *testing.T) {
 	}
 	if len(metrics) == 0 {
 		t.Error("metrics JSON is empty")
+	}
+	fdata, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(fdata, &events); err != nil {
+		t.Fatal(err)
+	}
+	// A plain run still records the routing decision stream.
+	if len(events) == 0 {
+		t.Error("flight dump is empty; expected route events from routeStage")
 	}
 }
 
@@ -127,7 +141,7 @@ func TestRunRecoveredConvertsPanics(t *testing.T) {
 
 func TestRealMainError(t *testing.T) {
 	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1, 0,
-		false, "", "", false, "", chaosOpts{}, driftOpts{}); err == nil {
+		false, "", "", false, "", chaosOpts{}, driftOpts{}, flightOpts{}); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

@@ -13,6 +13,7 @@ var (
 	cTxCommits   = obs.Default.Counter("db.tx_commits")
 	cTxAborts    = obs.Default.Counter("db.tx_aborts")
 	cTxRollbacks = obs.Default.Counter("db.tx_rollbacks")
+	hTxCommitOps = obs.Default.HDR("db.tx_commit_ops")
 )
 
 // ErrTxDone is returned by operations on a transaction that already
@@ -161,6 +162,7 @@ func (tx *Tx) Commit() error {
 		undos = append(undos, undo)
 	}
 	cTxCommits.Inc()
+	hTxCommitOps.Observe(int64(len(tx.ops)))
 	return nil
 }
 

@@ -101,10 +101,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for n := range r.hists {
 		histNames = append(histNames, n)
 	}
+	hdrNames := make([]string, 0, len(r.hdrs))
+	for n := range r.hdrs {
+		hdrNames = append(hdrNames, n)
+	}
 	r.mu.RUnlock()
 	sort.Strings(counterNames)
 	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
+	sort.Strings(hdrNames)
 
 	bw := &errWriter{w: w}
 	for _, n := range counterNames {
@@ -126,6 +131,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		bw.writeString(fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count))
 		bw.writeString(fmt.Sprintf("%s_sum %g\n%s_count %d\n", pn, s.Sum, pn, s.Count))
+	}
+	// HDR histograms expose as summaries: precise p50/p99/p999 is their
+	// whole point, and Prometheus histograms cannot carry quantiles.
+	for _, n := range hdrNames {
+		pn := promName(n)
+		s := r.HDR(n).Snapshot()
+		bw.writeString(fmt.Sprintf("# TYPE %s summary\n", pn))
+		bw.writeString(fmt.Sprintf("%s{quantile=\"0.5\"} %d\n", pn, s.P50))
+		bw.writeString(fmt.Sprintf("%s{quantile=\"0.99\"} %d\n", pn, s.P99))
+		bw.writeString(fmt.Sprintf("%s{quantile=\"0.999\"} %d\n", pn, s.P999))
+		bw.writeString(fmt.Sprintf("%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count))
 	}
 	return bw.err
 }

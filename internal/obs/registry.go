@@ -179,6 +179,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	hdrs     map[string]*HDR
 }
 
 // NewRegistry creates an empty registry.
@@ -187,6 +188,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		hdrs:     map[string]*HDR{},
 	}
 }
 
@@ -247,13 +249,58 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Reset removes every metric. Tests use it to isolate runs.
+// HDR returns the named HDR latency histogram, creating it if needed.
+func (r *Registry) HDR(name string) *HDR {
+	r.mu.RLock()
+	h, ok := r.hdrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hdrs[name]; ok {
+		return h
+	}
+	h = &HDR{}
+	r.hdrs[name] = h
+	return h
+}
+
+// Reset zeroes every metric IN PLACE. Tests use it to isolate runs.
+//
+// Zeroing (rather than reallocating the maps) is load-bearing: packages
+// cache metric handles in package-level vars at init (e.g.
+// wal.records_appended), and a map swap would orphan those pointers —
+// post-Reset increments would land in unreachable metrics and silently
+// vanish from every later Snapshot. Handles stay registered; Names()
+// keeps reporting them.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.counters = map[string]*Counter{}
-	r.gauges = map[string]*Gauge{}
-	r.hists = map[string]*Histogram{}
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, h := range r.hdrs {
+		h.Reset()
+	}
+}
+
+// reset zeroes the histogram in place (see Registry.Reset).
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minBits.Store(0)
+	h.maxBits.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
 }
 
 // Snapshot returns a sorted-key map of every metric's current value:
@@ -277,6 +324,12 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.hists {
 		if _, clash := out[name]; clash {
 			name += ".histogram"
+		}
+		out[name] = h.Snapshot()
+	}
+	for name, h := range r.hdrs {
+		if _, clash := out[name]; clash {
+			name += ".hdr"
 		}
 		out[name] = h.Snapshot()
 	}
@@ -304,6 +357,9 @@ func (r *Registry) Names() []string {
 	for n := range r.hists {
 		add(n)
 	}
+	for n := range r.hdrs {
+		add(n)
+	}
 	sort.Strings(out)
 	return out
 }
@@ -321,3 +377,8 @@ func Set(name string, v float64) { Default.Gauge(name).Set(v) }
 
 // Observe records a sample in the named Default histogram.
 func Observe(name string, v float64) { Default.Histogram(name).Observe(v) }
+
+// ObserveHDR records a sample in the named Default HDR histogram. Hot
+// paths should cache the *HDR handle instead (the name lookup takes a
+// read lock); the handle stays valid across Reset.
+func ObserveHDR(name string, v int64) { Default.HDR(name).Observe(v) }

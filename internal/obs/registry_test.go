@@ -184,12 +184,56 @@ func TestResetAndNames(t *testing.T) {
 	r.Counter("z").Inc()
 	r.Gauge("a").Set(1)
 	r.Histogram("m").Observe(1)
-	if got := r.Names(); len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+	r.HDR("h").Observe(5)
+	if got := r.Names(); len(got) != 4 || got[0] != "a" || got[1] != "h" || got[2] != "m" || got[3] != "z" {
 		t.Fatalf("Names = %v", got)
 	}
 	r.Reset()
-	if len(r.Names()) != 0 {
-		t.Fatal("Reset did not clear")
+	// Reset zeroes in place: names stay registered, values go to zero.
+	if got := r.Names(); len(got) != 4 {
+		t.Fatalf("Reset dropped names: %v", got)
+	}
+	if r.Counter("z").Value() != 0 {
+		t.Fatal("counter not zeroed")
+	}
+	if r.Gauge("a").Value() != 0 {
+		t.Fatal("gauge not zeroed")
+	}
+	if s := r.Histogram("m").Snapshot(); s.Count != 0 || s.Sum != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("histogram not zeroed: %+v", s)
+	}
+	if s := r.HDR("h").Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("hdr not zeroed: %+v", s)
+	}
+}
+
+// TestResetKeepsCachedHandles is the regression test for the orphaned-
+// pointer bug: packages cache metric handles in package-level vars (e.g.
+// wal.records_appended), so Reset must zero metrics in place. The old
+// map-reallocating Reset detached the cached handle — increments after
+// Reset landed in an unreachable Counter and vanished from Snapshot.
+func TestResetKeepsCachedHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkg.cached") // the package-level cached handle
+	h := r.HDR("pkg.cached_hdr")
+	c.Add(10)
+	h.Observe(100)
+	r.Reset()
+	c.Inc() // post-Reset writes through the old pointer...
+	h.Observe(7)
+	if r.Counter("pkg.cached") != c {
+		t.Fatal("Reset replaced the registered counter; cached handle orphaned")
+	}
+	if r.HDR("pkg.cached_hdr") != h {
+		t.Fatal("Reset replaced the registered HDR; cached handle orphaned")
+	}
+	// ...must be visible in the registry's snapshot.
+	snap := r.Snapshot()
+	if got := snap["pkg.cached"].(int64); got != 1 {
+		t.Fatalf("post-Reset increment lost: snapshot = %d, want 1", got)
+	}
+	if got := snap["pkg.cached_hdr"].(HDRSnapshot); got.Count != 1 || got.Max != 7 {
+		t.Fatalf("post-Reset observation lost: %+v", got)
 	}
 }
 

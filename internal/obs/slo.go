@@ -1,0 +1,167 @@
+package obs
+
+// SLO monitoring: a tumbling-window evaluator over per-transaction
+// latency and success/failure, publishing slo.* metrics and a latched
+// guardrail signal. The simulations feed it one Record per transaction;
+// at each window boundary (and at Flush) the monitor compares the
+// window's HDR p99 and availability against the configured targets.
+//
+// ROADMAP item 5 wants repartitioning gated on "is the system healthy
+// enough to absorb a migration" — GuardrailTripped is that signal: it
+// latches on the first breached window and stays up for the rest of the
+// run, so a post-run report (or a live controller polling slo.guardrail)
+// sees the breach even if later windows recover.
+
+// SLOConfig sets the monitor's targets. The zero value selects the
+// defaults noted per field.
+type SLOConfig struct {
+	// WindowTxns is the tumbling-window size in transactions
+	// (default 256).
+	WindowTxns int `json:"window_txns"`
+	// TargetP99Sec is the per-window p99 latency objective in seconds
+	// (default 0.5).
+	TargetP99Sec float64 `json:"target_p99_sec"`
+	// TargetAvailabilityPct is the per-window success-rate objective in
+	// percent (default 99).
+	TargetAvailabilityPct float64 `json:"target_availability_pct"`
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.WindowTxns <= 0 {
+		c.WindowTxns = 256
+	}
+	if c.TargetP99Sec <= 0 {
+		c.TargetP99Sec = 0.5
+	}
+	if c.TargetAvailabilityPct <= 0 {
+		c.TargetAvailabilityPct = 99
+	}
+	return c
+}
+
+// SLOStatus is the monitor's exportable state.
+type SLOStatus struct {
+	// Windows is the number of completed evaluation windows.
+	Windows int `json:"windows"`
+	// Breaches is the number of windows that missed either objective.
+	Breaches int `json:"breaches"`
+	// GuardrailTripped latches true on the first breached window.
+	GuardrailTripped bool `json:"guardrail_tripped"`
+	// LastP99Sec is the most recent completed window's p99 (seconds).
+	LastP99Sec float64 `json:"last_p99_sec"`
+	// WorstP99Sec is the worst window p99 seen (seconds).
+	WorstP99Sec float64 `json:"worst_p99_sec"`
+	// LastAvailabilityPct is the most recent window's success rate.
+	LastAvailabilityPct float64 `json:"last_availability_pct"`
+	// MinAvailabilityPct is the worst window success rate seen.
+	MinAvailabilityPct float64 `json:"min_availability_pct"`
+	// TargetP99Sec and TargetAvailabilityPct echo the objectives.
+	TargetP99Sec          float64 `json:"target_p99_sec"`
+	TargetAvailabilityPct float64 `json:"target_availability_pct"`
+}
+
+// SLOMonitor evaluates latency/availability objectives over tumbling
+// windows. It is designed for the single-threaded simulation replay
+// loops and is NOT safe for concurrent use; wrap it if you need that.
+type SLOMonitor struct {
+	cfg SLOConfig
+	reg *Registry
+
+	win     HDR // current window's latencies, ns; reset in place per window
+	winN    int
+	winFail int
+
+	status SLOStatus
+}
+
+// NewSLOMonitor creates a monitor publishing slo.* metrics into the
+// Default registry.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	return NewSLOMonitorRegistry(cfg, Default)
+}
+
+// NewSLOMonitorRegistry is NewSLOMonitor against an explicit registry
+// (nil suppresses metric publication).
+func NewSLOMonitorRegistry(cfg SLOConfig, reg *Registry) *SLOMonitor {
+	cfg = cfg.withDefaults()
+	m := &SLOMonitor{cfg: cfg, reg: reg}
+	m.status.TargetP99Sec = cfg.TargetP99Sec
+	m.status.TargetAvailabilityPct = cfg.TargetAvailabilityPct
+	m.status.MinAvailabilityPct = 100
+	return m
+}
+
+// Record feeds one transaction outcome: its latency in seconds and
+// whether it succeeded. Failed transactions count against availability
+// but still contribute their latency (a timed-out txn burning the whole
+// retry budget is exactly the latency the p99 objective cares about).
+// Nil-receiver no-op, so untraced runs skip SLO accounting for free.
+func (m *SLOMonitor) Record(latencySec float64, ok bool) {
+	if m == nil {
+		return
+	}
+	m.win.Observe(int64(latencySec * 1e9))
+	m.winN++
+	if !ok {
+		m.winFail++
+	}
+	if m.winN >= m.cfg.WindowTxns {
+		m.closeWindow()
+	}
+}
+
+// Flush evaluates any partial final window. Call once at end of run.
+func (m *SLOMonitor) Flush() {
+	if m == nil || m.winN == 0 {
+		return
+	}
+	m.closeWindow()
+}
+
+func (m *SLOMonitor) closeWindow() {
+	snap := m.win.Snapshot()
+	p99 := float64(snap.P99) / 1e9
+	avail := 100 * float64(m.winN-m.winFail) / float64(m.winN)
+
+	st := &m.status
+	st.Windows++
+	st.LastP99Sec = p99
+	if p99 > st.WorstP99Sec {
+		st.WorstP99Sec = p99
+	}
+	st.LastAvailabilityPct = avail
+	if avail < st.MinAvailabilityPct {
+		st.MinAvailabilityPct = avail
+	}
+	breached := p99 > m.cfg.TargetP99Sec || avail < m.cfg.TargetAvailabilityPct
+	if breached {
+		st.Breaches++
+		st.GuardrailTripped = true
+	}
+
+	if m.reg != nil {
+		m.reg.Counter("slo.windows").Inc()
+		if breached {
+			m.reg.Counter("slo.breaches").Inc()
+		}
+		m.reg.Gauge("slo.p99_sec").Set(p99)
+		m.reg.Gauge("slo.availability_pct").Set(avail)
+		g := 0.0
+		if st.GuardrailTripped {
+			g = 1
+		}
+		m.reg.Gauge("slo.guardrail").Set(g)
+	}
+
+	m.win.Reset()
+	m.winN = 0
+	m.winFail = 0
+}
+
+// Status returns the monitor's current state (zero-value on nil).
+func (m *SLOMonitor) Status() SLOStatus {
+	if m == nil {
+		return SLOStatus{}
+	}
+	return m.status
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestSLOAllHealthy(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitorRegistry(SLOConfig{WindowTxns: 10, TargetP99Sec: 0.5, TargetAvailabilityPct: 99}, reg)
+	for i := 0; i < 25; i++ {
+		m.Record(0.01, true)
+	}
+	m.Flush()
+	st := m.Status()
+	if st.Windows != 3 { // 10 + 10 + partial 5
+		t.Fatalf("windows = %d, want 3", st.Windows)
+	}
+	if st.Breaches != 0 || st.GuardrailTripped {
+		t.Fatalf("healthy run breached: %+v", st)
+	}
+	if st.MinAvailabilityPct != 100 || st.LastAvailabilityPct != 100 {
+		t.Fatalf("availability: %+v", st)
+	}
+	if st.WorstP99Sec > 0.011 || st.WorstP99Sec < 0.01 {
+		t.Fatalf("p99 = %g, want ~0.01", st.WorstP99Sec)
+	}
+	if reg.Counter("slo.windows").Value() != 3 {
+		t.Fatal("slo.windows gauge not published")
+	}
+	if reg.Gauge("slo.guardrail").Value() != 0 {
+		t.Fatal("guardrail gauge should be 0")
+	}
+}
+
+func TestSLOLatencyBreach(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitorRegistry(SLOConfig{WindowTxns: 100, TargetP99Sec: 0.1, TargetAvailabilityPct: 99}, reg)
+	// 2% of transactions blow the latency target: p99 lands in the slow mass.
+	for i := 0; i < 100; i++ {
+		if i%50 == 0 {
+			m.Record(1.0, true)
+		} else {
+			m.Record(0.01, true)
+		}
+	}
+	st := m.Status()
+	if st.Windows != 1 || st.Breaches != 1 || !st.GuardrailTripped {
+		t.Fatalf("latency breach not detected: %+v", st)
+	}
+	if st.LastAvailabilityPct != 100 {
+		t.Fatalf("availability should be clean: %+v", st)
+	}
+	if reg.Gauge("slo.guardrail").Value() != 1 {
+		t.Fatal("guardrail gauge should latch to 1")
+	}
+	if reg.Counter("slo.breaches").Value() != 1 {
+		t.Fatal("slo.breaches not published")
+	}
+}
+
+func TestSLOAvailabilityBreachAndLatch(t *testing.T) {
+	m := NewSLOMonitorRegistry(SLOConfig{WindowTxns: 10, TargetP99Sec: 10, TargetAvailabilityPct: 95}, nil)
+	// Window 1: 2 failures of 10 → 80% availability, breach.
+	for i := 0; i < 10; i++ {
+		m.Record(0.01, i >= 2)
+	}
+	// Window 2: fully healthy — the guardrail must stay latched.
+	for i := 0; i < 10; i++ {
+		m.Record(0.01, true)
+	}
+	st := m.Status()
+	if st.Windows != 2 || st.Breaches != 1 {
+		t.Fatalf("windows/breaches = %d/%d", st.Windows, st.Breaches)
+	}
+	if !st.GuardrailTripped {
+		t.Fatal("guardrail must latch across recovered windows")
+	}
+	if st.MinAvailabilityPct != 80 || st.LastAvailabilityPct != 100 {
+		t.Fatalf("availability tracking: %+v", st)
+	}
+}
+
+func TestSLODefaultsAndNil(t *testing.T) {
+	m := NewSLOMonitorRegistry(SLOConfig{}, nil)
+	if m.cfg.WindowTxns != 256 || m.cfg.TargetP99Sec != 0.5 || m.cfg.TargetAvailabilityPct != 99 {
+		t.Fatalf("defaults: %+v", m.cfg)
+	}
+	var nilM *SLOMonitor
+	nilM.Record(1, false) // must not panic
+	nilM.Flush()
+	if st := nilM.Status(); st.Windows != 0 {
+		t.Fatalf("nil status: %+v", st)
+	}
+	// Flush with no samples is a no-op.
+	m.Flush()
+	if m.Status().Windows != 0 {
+		t.Fatal("empty flush created a window")
+	}
+}

@@ -158,7 +158,7 @@ func (s *Span) End() {
 	dur := s.dur
 	s.mu.Unlock()
 	if s.trace.reg != nil {
-		s.trace.reg.Histogram("span." + s.name + ".ns").Observe(float64(dur.Nanoseconds()))
+		s.trace.reg.HDR("span." + s.name + ".ns").Observe(dur.Nanoseconds())
 	}
 }
 

@@ -39,8 +39,8 @@ func TestSpanTree(t *testing.T) {
 	if snap.DurationNS < snap.Children[0].DurationNS {
 		t.Fatal("root shorter than child")
 	}
-	// Durations mirrored into the registry.
-	if reg.Histogram("span.load.ns").Snapshot().Count != 1 {
+	// Durations mirrored into the registry's HDR histograms.
+	if reg.HDR("span.load.ns").Snapshot().Count != 1 {
 		t.Fatal("span duration not mirrored into registry")
 	}
 	// PhaseNames covers every span once.
@@ -147,6 +147,49 @@ func TestConcurrentSpans(t *testing.T) {
 	snap := tr.Snapshot()
 	if len(snap.Children) != 8*50 {
 		t.Fatalf("children = %d, want 400", len(snap.Children))
+	}
+}
+
+// TestConcurrentSpanAttrStress hammers SetAttr/Attr/StartSpan/End (and
+// snapshotting) on the SAME spans from many goroutines, so -race proves
+// attribute writes are properly locked against tree walks.
+func TestConcurrentSpanAttrStress(t *testing.T) {
+	ctx, tr := WithTraceRegistry(context.Background(), "run", NewRegistry())
+	_, shared := StartSpan(ctx, "shared")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				shared.SetAttr("k", id*1000+j)
+				shared.SetAttr("id", id)
+				if _, ok := shared.Attr("k"); !ok {
+					t.Error("attr lost")
+					return
+				}
+				cctx, s := StartSpan(ctx, "worker")
+				s.SetAttr("j", j)
+				_, inner := StartSpan(cctx, "inner")
+				inner.SetAttr("deep", true)
+				inner.End()
+				s.End()
+				if j%50 == 0 {
+					_ = tr.Snapshot()
+					_ = tr.Report()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	shared.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Children) != 1+8*200 {
+		t.Fatalf("children = %d, want %d", len(snap.Children), 1+8*200)
+	}
+	if _, ok := shared.Attr("id"); !ok {
+		t.Fatal("shared attr missing after stress")
 	}
 }
 

@@ -2,8 +2,10 @@ package router
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -25,6 +27,41 @@ type Request struct {
 	Params map[string]value.Value
 	// Health is the cluster-health view; nil means all nodes up.
 	Health faults.Health
+
+	// TxnID, VT and Recorder opt the request into transaction-level
+	// flight-recorder tracing: when Recorder is non-nil, the routing
+	// decision (or denial) is recorded against TxnID at virtual time VT.
+	// They live on the Request — not the context — because a
+	// context.WithValue per routed transaction would allocate on the hot
+	// path; leave Recorder nil and tracing costs one branch.
+	TxnID    uint64
+	VT       float64
+	Recorder *obs.Recorder
+}
+
+// traceDecision records the routing outcome into the request's flight
+// recorder (no-op when the request carries none).
+func (req *Request) traceDecision(d Decision, err error) {
+	if req.Recorder == nil {
+		return
+	}
+	if err != nil {
+		code := int64(0)
+		switch {
+		case errors.Is(err, ErrPartitionDown):
+			code = obs.RouteErrDown
+		case errors.Is(err, ErrStaleLookup):
+			code = obs.RouteErrStale
+		}
+		req.Recorder.Record(req.TxnID, obs.EvRouteDenied, -1, 0, req.VT, code)
+		return
+	}
+	node := -1
+	if len(d.Partitions) > 0 {
+		node = d.Partitions[0]
+	}
+	req.Recorder.Record(req.TxnID, obs.EvRoute, node, 0, req.VT,
+		int64(len(d.Partitions))<<8|int64(d.Mode))
 }
 
 // Route is the canonical routing entry point: context-first, config-first
@@ -32,8 +69,10 @@ type Request struct {
 // RouteSafe. See RouteSafe for the ladder's semantics; see doc.go at the
 // repository root for the migration table from the old entry points.
 func (r *Router) Route(ctx context.Context, req Request) (Decision, error) {
-	_ = ctx // reserved: cancellation/tracing; routing is on the hot path
-	return r.RouteSafe(req.Class, req.Params, req.Health)
+	_ = ctx // reserved: cancellation; routing is on the hot path
+	d, err := r.RouteSafe(req.Class, req.Params, req.Health)
+	req.traceDecision(d, err)
+	return d, err
 }
 
 // Route is EpochRouter's canonical entry point: Route against the
@@ -41,5 +80,7 @@ func (r *Router) Route(ctx context.Context, req Request) (Decision, error) {
 // Stale epochs catch up and retry once (see RouteSafe).
 func (e *EpochRouter) Route(ctx context.Context, req Request) (Decision, uint64, error) {
 	_ = ctx
-	return e.RouteSafe(req.Class, req.Params, req.Health)
+	d, epoch, err := e.RouteSafe(req.Class, req.Params, req.Health)
+	req.traceDecision(d, err)
+	return d, epoch, err
 }

@@ -21,6 +21,11 @@ var (
 	cChaosAborts  = obs.Default.Counter("sim.chaos_aborts")
 	cChaosRetries = obs.Default.Counter("sim.chaos_retries")
 	cChaosPerm    = obs.Default.Counter("sim.chaos_permanent_failures")
+	// HDR latency histograms (virtual nanoseconds): all transactions, and
+	// just the committed-after-retry subset. Handles cached — these sit on
+	// the per-transaction hot path.
+	hChaosLatency      = obs.Default.HDR("sim.chaos_latency_ns")
+	hChaosRetryLatency = obs.Default.HDR("sim.chaos_retry_latency_ns")
 )
 
 // ChaosConfig extends the analytic cost model with the chaos replay's
@@ -39,6 +44,13 @@ type ChaosConfig struct {
 	// one aborted attempt (the prepare/rollback cost of a 2PC round that
 	// could not complete). Default 0.5.
 	AbortWork float64
+	// SLO configures the tumbling-window latency/availability evaluation
+	// (defaults per obs.SLOConfig).
+	SLO obs.SLOConfig
+	// Recorder, when non-nil, receives one flight-recorder event per
+	// causal step of every transaction (arrival, routing, faults,
+	// backoff, commit/abort/give-up). Nil keeps tracing off for free.
+	Recorder *obs.Recorder
 }
 
 func (c ChaosConfig) withDefaults(traceLen int) ChaosConfig {
@@ -88,10 +100,21 @@ type ChaosResult struct {
 	AbortRate       float64 `json:"abort_rate"`
 	AvailabilityPct float64 `json:"availability_pct"`
 
+	// Latency quantiles (virtual seconds, HDR-accurate to 1.5625%) over
+	// ALL transactions — permanent failures contribute the full latency
+	// of their exhausted retry budget, which is exactly what a tail
+	// objective should see.
+	LatencyP50  float64 `json:"latency_p50_sec"`
+	LatencyP99  float64 `json:"latency_p99_sec"`
+	LatencyP999 float64 `json:"latency_p999_sec"`
+
 	// Retry latency quantiles (virtual seconds) over committed
 	// transactions that aborted at least once; zero when none retried.
 	RetryLatencyP50 float64 `json:"retry_latency_p50_sec"`
 	RetryLatencyP99 float64 `json:"retry_latency_p99_sec"`
+
+	// SLO is the tumbling-window objective evaluation over the replay.
+	SLO obs.SLOStatus `json:"slo"`
 
 	// MakespanSec is the virtual time of the last commit or give-up;
 	// EffectiveTPS is committed transactions per virtual second of
@@ -178,12 +201,21 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 		}
 	}
 	attempts := 0
-	var retriedLatencies []float64
+	rec := cfg.Recorder // nil keeps every Record a no-op
+	slo := obs.NewSLOMonitor(cfg.SLO)
+	var allLat, retriedLat obs.HDR // per-run HDRs, virtual nanoseconds
 
 	for i := range tr.Txns {
 		t := &tr.Txns[i]
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, sol.K, i)
+		txn := obs.TxnID(seed, i)
+		rec.Record(txn, obs.EvBegin, -1, 0, arrival, int64(len(nodes)))
+		dist := int64(0)
+		if distributed {
+			dist = 1
+		}
+		rec.Record(txn, obs.EvRoute, coord, 0, arrival, int64(len(nodes))<<8|dist)
 
 		now := arrival
 		committed := false
@@ -206,12 +238,16 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 			for _, n := range execNodes {
 				if inj.Down(n, now) {
 					blocked = true
+					rec.Record(txn, obs.EvFault, n, attempt, now, obs.FaultNodeDown)
 					break
 				}
 			}
 			lost := false
 			if !blocked && distributed {
 				lost = inj.SampleLoss()
+				if lost {
+					rec.Record(txn, obs.EvFault, execCoord, attempt, now, obs.FaultMsgLoss)
+				}
 			}
 			if !blocked && !lost {
 				// Commit: charge the analytic cost model's work.
@@ -223,9 +259,14 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 					res.Local++
 				}
 				latency := now - arrival
+				allLat.Observe(int64(latency * 1e9))
+				hChaosLatency.Observe(int64(latency * 1e9))
 				if attempt > 1 {
-					retriedLatencies = append(retriedLatencies, latency)
+					retriedLat.Observe(int64(latency * 1e9))
+					hChaosRetryLatency.Observe(int64(latency * 1e9))
 				}
+				slo.Record(latency, true)
+				rec.Record(txn, obs.EvCommit, execCoord, attempt, now, int64(latency*1e9))
 				if now > res.MakespanSec {
 					res.MakespanSec = now
 				}
@@ -234,6 +275,7 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 			}
 			// Abort: reachable participants waste the prepare/rollback work.
 			res.Aborts++
+			rec.Record(txn, obs.EvAbort, execCoord, attempt, now, 0)
 			for _, n := range execNodes {
 				if !inj.Down(n, now) {
 					res.NodeWork[n] += cfg.AbortWork
@@ -243,7 +285,9 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 				break
 			}
 			res.Retries++
-			now += cfg.Retry.Backoff(attempt, inj)
+			backoff := cfg.Retry.Backoff(attempt, inj)
+			rec.Record(txn, obs.EvBackoff, -1, attempt, now, int64(backoff*1e9))
+			now += backoff
 		}
 		if !committed {
 			res.PermanentFailures++
@@ -251,6 +295,11 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 				res.PermanentByClass = map[string]int{}
 			}
 			res.PermanentByClass[t.Class]++
+			latency := now - arrival
+			allLat.Observe(int64(latency * 1e9))
+			hChaosLatency.Observe(int64(latency * 1e9))
+			slo.Record(latency, false)
+			rec.Record(txn, obs.EvGiveUp, -1, cfg.Retry.MaxAttempts, now, int64(latency*1e9))
 			if now > res.MakespanSec {
 				res.MakespanSec = now
 			}
@@ -263,8 +312,15 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 	if res.Offered > 0 {
 		res.AvailabilityPct = 100 * float64(res.Committed) / float64(res.Offered)
 	}
-	res.RetryLatencyP50 = quantile(retriedLatencies, 0.50)
-	res.RetryLatencyP99 = quantile(retriedLatencies, 0.99)
+	latSnap := allLat.Snapshot()
+	res.LatencyP50 = float64(latSnap.P50) / 1e9
+	res.LatencyP99 = float64(latSnap.P99) / 1e9
+	res.LatencyP999 = float64(latSnap.P999) / 1e9
+	retrySnap := retriedLat.Snapshot()
+	res.RetryLatencyP50 = float64(retrySnap.P50) / 1e9
+	res.RetryLatencyP99 = float64(retrySnap.P99) / 1e9
+	slo.Flush()
+	res.SLO = slo.Status()
 	res.NodeDownSec = inj.DownNodeSeconds(res.MakespanSec)
 
 	bottleneck := 0.0
@@ -293,9 +349,6 @@ func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 	obs.Set("sim.chaos_availability_pct", res.AvailabilityPct)
 	obs.Set("sim.chaos_effective_tps", res.EffectiveTPS)
 	obs.Set("sim.chaos_degradation_pct", res.DegradationPct)
-	for _, l := range retriedLatencies {
-		obs.Observe("sim.chaos_retry_latency_ms", l*1000)
-	}
 	return res, nil
 }
 
@@ -341,23 +394,4 @@ func chargeCommit(work []float64, nodes []int, coord int, distributed bool, cfg 
 		work[n] += cfg.ParticipantWork
 	}
 	work[coord] += cfg.CoordWork
-}
-
-// quantile returns the nearest-rank q-quantile of xs (0 when empty). xs
-// is copied and sorted, so callers keep insertion order.
-func quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
 }

@@ -73,6 +73,10 @@ type DriftConfig struct {
 	// DualRouteWork is the extra coordinator work of one dual-routed
 	// transaction during a settling window (default 1).
 	DualRouteWork float64
+	// SLO configures the tumbling-window objective evaluation. The drift
+	// replay has no real latencies, so each transaction contributes a
+	// service-time proxy: its charged work units divided by NodeCapacity.
+	SLO obs.SLOConfig
 }
 
 func (c DriftConfig) withDefaults() DriftConfig {
@@ -160,6 +164,15 @@ type DriftResult struct {
 	NodeWork      []float64 `json:"node_work"`
 	ThroughputTPS float64   `json:"throughput_tps"`
 	Speedup       float64   `json:"speedup"`
+
+	// Service-time proxy quantiles (seconds: charged work units divided
+	// by NodeCapacity, HDR-accurate to 1.5625%) and the tumbling-window
+	// SLO evaluation over them — the guardrail signal a live controller
+	// would gate migrations on.
+	LatencyP50  float64       `json:"latency_p50_sec"`
+	LatencyP99  float64       `json:"latency_p99_sec"`
+	LatencyP999 float64       `json:"latency_p999_sec"`
+	SLO         obs.SLOStatus `json:"slo"`
 }
 
 // String renders a one-line summary.
@@ -283,6 +296,8 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 	}
 	det := drift.New(cfg.Detector)
 	budgetLeft := cfg.Budget // <0 = unbounded
+	slo := obs.NewSLOMonitor(cfg.SLO)
+	var svcLat obs.HDR // per-txn service-time proxy, nanoseconds
 
 	// Settling state: the tables moved by the last migration and whether
 	// the *current* window still dual-routes across the swap.
@@ -325,6 +340,7 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 			gi := base + i
 			parts, wr, ap := asg.TxnPartitions(t)
 			distributed := false
+			txnWork := 0.0
 			switch {
 			case wr || !ap:
 				distributed = true
@@ -332,14 +348,17 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 					res.NodeWork[n] += cfg.ParticipantWork
 				}
 				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.CoordWork
+				txnWork = float64(sol.K)*cfg.ParticipantWork + cfg.CoordWork
 			case len(parts) <= 1:
 				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.LocalWork
+				txnWork = cfg.LocalWork
 			default:
 				distributed = true
 				for n := range parts {
 					res.NodeWork[n] += cfg.ParticipantWork
 				}
 				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.CoordWork
+				txnWork = float64(len(parts))*cfg.ParticipantWork + cfg.CoordWork
 			}
 			if distributed {
 				res.Distributed++
@@ -370,10 +389,15 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 				}
 				if touchesMoved && touchesOther {
 					res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.DualRouteWork
+					txnWork += cfg.DualRouteWork
 					res.DualRouted++
 					cDriftDual.Inc()
 				}
 			}
+			// SLO accounting over the service-time proxy.
+			proxySec := txnWork / cfg.NodeCapacity
+			svcLat.Observe(int64(proxySec * 1e9))
+			slo.Record(proxySec, true)
 		}
 		distFrac := 0.0
 		if win.Len() > 0 {
@@ -485,6 +509,13 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 	finalize(r, res.Total, cfg.Config)
 	res.ThroughputTPS = r.ThroughputTPS
 	res.Speedup = r.Speedup
+
+	slo.Flush()
+	res.SLO = slo.Status()
+	latSnap := svcLat.Snapshot()
+	res.LatencyP50 = float64(latSnap.P50) / 1e9
+	res.LatencyP99 = float64(latSnap.P99) / 1e9
+	res.LatencyP999 = float64(latSnap.P999) / 1e9
 
 	cDriftRuns.Inc()
 	obs.Set("sim.drift_dist_frac", res.DistFrac)

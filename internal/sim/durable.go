@@ -21,6 +21,7 @@ var (
 	cDurableRuns       = obs.Default.Counter("sim.durable_runs")
 	cDurableCommits    = obs.Default.Counter("sim.durable_committed")
 	cDurableOracleFail = obs.Default.Counter("sim.durable_oracle_failures")
+	hDurableLatency    = obs.Default.HDR("sim.durable_latency_ns")
 )
 
 // DurableConfig shapes the durable chaos replay: the analytic chaos
@@ -84,6 +85,15 @@ type DurableResult struct {
 	InDoubtAborted   int `json:"in_doubt_aborted"`
 	RecoveredCommits int `json:"recovered_commits"`
 
+	// Latency quantiles (virtual seconds, HDR-accurate to 1.5625%) over
+	// all transactions, permanent failures included.
+	LatencyP50  float64 `json:"latency_p50_sec"`
+	LatencyP99  float64 `json:"latency_p99_sec"`
+	LatencyP999 float64 `json:"latency_p999_sec"`
+
+	// SLO is the tumbling-window objective evaluation over the replay.
+	SLO obs.SLOStatus `json:"slo"`
+
 	// TableDigests is the recovered cluster state, one hex digest per
 	// table; OracleOK reports whether it is byte-identical to a fault-free
 	// re-execution of exactly the committed set.
@@ -122,9 +132,17 @@ type durEngine struct {
 	commitsSince []int
 	ckptEvery    int
 	checkpoints  int
+
+	// Flight-recorder context: rec is nil when tracing is off; curTrace,
+	// curAttempt and curVT name the transaction currently driving the
+	// engine so WAL observers and 2PC phases can stamp their events.
+	rec        *obs.Recorder
+	curTrace   uint64
+	curAttempt int
+	curVT      float64
 }
 
-func newDurEngine(sc *schema.Schema, k int, dir string, ckptEvery int) (*durEngine, error) {
+func newDurEngine(sc *schema.Schema, k int, dir string, ckptEvery int, rec *obs.Recorder) (*durEngine, error) {
 	e := &durEngine{
 		k:            k,
 		stores:       make([]*db.DB, k),
@@ -133,6 +151,7 @@ func newDurEngine(sc *schema.Schema, k int, dir string, ckptEvery int) (*durEngi
 		inDoubt:      faults.NodeSet{},
 		commitsSince: make([]int, k),
 		ckptEvery:    ckptEvery,
+		rec:          rec,
 	}
 	for p := 0; p < k; p++ {
 		e.stores[p] = db.New(sc)
@@ -142,8 +161,21 @@ func newDurEngine(sc *schema.Schema, k int, dir string, ckptEvery int) (*durEngi
 			return nil, err
 		}
 		e.logs[p] = l
+		if rec != nil {
+			p := p
+			l.SetObserver(func(typ wal.RecType, _ uint64, frameBytes int) {
+				e.rec.Record(e.curTrace, obs.EvWALAppend, p, e.curAttempt, e.curVT,
+					int64(frameBytes)<<8|int64(typ))
+			})
+		}
 	}
 	return e, nil
+}
+
+// record emits one flight-recorder event under the engine's current
+// transaction context (no-op when tracing is off).
+func (e *durEngine) record(kind obs.EventKind, node int, arg int64) {
+	e.rec.Record(e.curTrace, kind, node, e.curAttempt, e.curVT, arg)
 }
 
 // kill marks a node dead and closes its log: nothing is ever appended to
@@ -221,6 +253,7 @@ func (e *durEngine) maybeCheckpoint(p int) error {
 	if err := wal.WriteCheckpoint(e.logs[p], e.stores[p]); err != nil {
 		return err
 	}
+	e.record(obs.EvCheckpoint, p, int64(e.ckptEvery))
 	e.commitsSince[p] = 0
 	e.checkpoints++
 	return nil
@@ -256,6 +289,7 @@ func (e *durEngine) prepareAll(txn uint64, coord int, parts []int, opsAt map[int
 		if err := e.logs[p].Append(wal.RecPrepare, txn, coordPayload(coord)); err != nil {
 			return err
 		}
+		e.record(obs.EvPrepare, p, 0)
 	}
 	return nil
 }
@@ -461,11 +495,14 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 	if err := wal.RemoveLogs(walDir); err != nil {
 		return nil, err
 	}
-	eng, err := newDurEngine(d.Schema(), sol.K, walDir, cfg.CheckpointEvery)
+	rec := cfg.Recorder
+	eng, err := newDurEngine(d.Schema(), sol.K, walDir, cfg.CheckpointEvery, rec)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.closeAll()
+	slo := obs.NewSLOMonitor(cfg.SLO)
+	var allLat obs.HDR // per-run latencies, virtual nanoseconds
 
 	cps := make([]cpState, len(sc.CrashPoints))
 	for i, cp := range sc.CrashPoints {
@@ -496,11 +533,19 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 		t := &tr.Txns[i]
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, sol.K, i)
+		traceID := obs.TxnID(seed, i)
+		rec.Record(traceID, obs.EvBegin, -1, 0, arrival, int64(len(nodes)))
+		dist := int64(0)
+		if distributed {
+			dist = 1
+		}
+		rec.Record(traceID, obs.EvRoute, coord, 0, arrival, int64(len(nodes))<<8|dist)
 
 		now := arrival
 		committed := false
 		for attempt := 1; attempt <= cfg.Retry.MaxAttempts; attempt++ {
 			now += inj.SampleLatency()
+			eng.curTrace, eng.curAttempt, eng.curVT = traceID, attempt, now
 			execNodes, execCoord := nodes, coord
 			if len(nodes) == 0 {
 				// Fully-replicated read: degrade to any reachable node.
@@ -517,6 +562,7 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 			for _, n := range execNodes {
 				if down(n, now) {
 					blocked = true
+					rec.Record(traceID, obs.EvFault, n, attempt, now, obs.FaultNodeDown)
 					break
 				}
 			}
@@ -527,6 +573,7 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 				for _, p := range writeParts {
 					if eng.inDoubt[p] {
 						blocked = true
+						rec.Record(traceID, obs.EvFault, p, attempt, now, obs.FaultInDoubtBlock)
 						break
 					}
 				}
@@ -534,6 +581,9 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 			lost := false
 			if !blocked && distributed {
 				lost = inj.SampleLoss()
+				if lost {
+					rec.Record(traceID, obs.EvFault, execCoord, attempt, now, obs.FaultMsgLoss)
+				}
 			}
 
 			// Crash points fire on rounds that would otherwise proceed.
@@ -565,6 +615,7 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 			switch {
 			case fire != nil:
 				nextTxn++
+				rec.Record(traceID, obs.EvCrash, fire.cp.Node, attempt, now, crashPhaseCode(fire.cp.Phase))
 				switch fire.cp.Phase {
 				case faults.PhaseBeforePrepare:
 					if err := eng.crashBeforePrepare(fire.cp.Node, nextTxn, execCoord, writeParts, opsAt); err != nil {
@@ -621,22 +672,42 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 				}
 			}
 			if committed {
+				latency := now - arrival
+				allLat.Observe(int64(latency * 1e9))
+				hDurableLatency.Observe(int64(latency * 1e9))
+				slo.Record(latency, true)
+				rec.Record(traceID, obs.EvCommit, execCoord, attempt, now, int64(latency*1e9))
 				break
 			}
 			res.Aborts++
+			rec.Record(traceID, obs.EvAbort, execCoord, attempt, now, 0)
 			if attempt == cfg.Retry.MaxAttempts {
 				break
 			}
 			res.Retries++
-			now += cfg.Retry.Backoff(attempt, inj)
+			backoff := cfg.Retry.Backoff(attempt, inj)
+			rec.Record(traceID, obs.EvBackoff, -1, attempt, now, int64(backoff*1e9))
+			now += backoff
 		}
 		if !committed {
 			res.PermanentFailures++
+			latency := now - arrival
+			allLat.Observe(int64(latency * 1e9))
+			hDurableLatency.Observe(int64(latency * 1e9))
+			slo.Record(latency, false)
+			rec.Record(traceID, obs.EvGiveUp, -1, cfg.Retry.MaxAttempts, now, int64(latency*1e9))
 			if now > res.MakespanSec {
 				res.MakespanSec = now
 			}
 		}
 	}
+
+	slo.Flush()
+	res.SLO = slo.Status()
+	latSnap := allLat.Snapshot()
+	res.LatencyP50 = float64(latSnap.P50) / 1e9
+	res.LatencyP99 = float64(latSnap.P99) / 1e9
+	res.LatencyP999 = float64(latSnap.P999) / 1e9
 
 	if res.Offered > 0 {
 		res.AvailabilityPct = 100 * float64(res.Committed) / float64(res.Offered)
@@ -663,8 +734,16 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 	res.TornTails = cr.TornTails
 	res.InDoubtCommitted = cr.InDoubtCommitted
 	res.InDoubtAborted = cr.InDoubtAborted
-	for _, p := range cr.Parts {
-		res.RecoveredCommits += len(p.Committed)
+	partIDs := make([]int, 0, len(cr.Parts))
+	for p := range cr.Parts {
+		partIDs = append(partIDs, p)
+	}
+	sort.Ints(partIDs)
+	for _, p := range partIDs {
+		res.RecoveredCommits += len(cr.Parts[p].Committed)
+		// Run-level recovery events (txn 0): one per partition, in
+		// partition order so dumps stay deterministic.
+		rec.Record(0, obs.EvRecover, p, 0, res.MakespanSec, int64(len(cr.Parts[p].Committed)))
 	}
 
 	// Consistency oracle: re-execute exactly the committed set on
@@ -700,6 +779,20 @@ func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Soluti
 	obs.Set("sim.durable_availability_pct", res.AvailabilityPct)
 	obs.Set("sim.durable_wal_bytes", float64(res.WALBytes))
 	return res, nil
+}
+
+// crashPhaseCode maps a crash-point phase to its EvCrash arg code.
+func crashPhaseCode(phase string) int64 {
+	switch phase {
+	case faults.PhaseBeforePrepare:
+		return 1
+	case faults.PhaseBeforeCommit:
+		return 2
+	case faults.PhaseAfterDecision:
+		return 3
+	default:
+		return 0
+	}
 }
 
 // flattenOps serializes the per-partition write effects in partition

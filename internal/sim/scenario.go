@@ -103,6 +103,10 @@ type Scenario struct {
 	// Repartition is the adaptation callback of ModeDriftAdaptive /
 	// ModeDriftOracle.
 	Repartition RepartitionFunc
+	// Recorder, when non-nil, receives flight-recorder trace events from
+	// the chaos/durable replays. It takes precedence over (and defaults
+	// from) the recorder carried by the Run context via obs.WithRecorder.
+	Recorder *obs.Recorder
 }
 
 // RunResult is the outcome of Runner.Run: Mode echoes the scenario and
@@ -154,6 +158,15 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 	}
 	if sc.Trace == nil {
 		return nil, fmt.Errorf("sim: scenario without a trace")
+	}
+	if sc.Recorder == nil {
+		sc.Recorder = obs.ContextRecorder(ctx)
+	}
+	if sc.Chaos.Recorder == nil {
+		sc.Chaos.Recorder = sc.Recorder
+	}
+	if sc.Durable.Recorder == nil {
+		sc.Durable.Recorder = sc.Recorder
 	}
 	out := &RunResult{Mode: sc.Mode}
 	switch sc.Mode {

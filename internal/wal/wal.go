@@ -39,6 +39,7 @@ var (
 	cRecordsAppended = obs.Default.Counter("wal.records_appended")
 	cCheckpoints     = obs.Default.Counter("wal.checkpoints_written")
 	cTornTails       = obs.Default.Counter("wal.torn_tails_detected")
+	hAppendBytes     = obs.Default.HDR("wal.append_bytes")
 )
 
 // Typed log-integrity errors; callers classify with errors.Is.
@@ -167,6 +168,16 @@ type Log struct {
 	path string
 	f    *os.File
 	n    int64
+	obsv func(typ RecType, txn uint64, frameBytes int)
+}
+
+// SetObserver installs a callback invoked after every successful Append
+// or AppendTorn with the record type, transaction id, and the frame
+// bytes written. The durable simulation uses it to emit one
+// flight-recorder event per WAL append without the wal package knowing
+// about trace ids. A nil observer (the default) costs one branch.
+func (l *Log) SetObserver(fn func(typ RecType, txn uint64, frameBytes int)) {
+	l.obsv = fn
 }
 
 // Create truncates/creates the log file at path.
@@ -211,8 +222,12 @@ func (l *Log) Append(typ RecType, txn uint64, payload []byte) error {
 	}
 	l.n += int64(len(frame))
 	cRecordsAppended.Inc()
+	hAppendBytes.Observe(int64(len(frame)))
 	if typ == RecCheckpoint {
 		cCheckpoints.Inc()
+	}
+	if l.obsv != nil {
+		l.obsv(typ, txn, len(frame))
 	}
 	return nil
 }
@@ -233,6 +248,10 @@ func (l *Log) AppendTorn(typ RecType, txn uint64, payload []byte, keep int) erro
 	}
 	l.n += int64(keep)
 	cTornTails.Inc()
+	hAppendBytes.Observe(int64(keep))
+	if l.obsv != nil {
+		l.obsv(typ, txn, keep)
+	}
 	return nil
 }
 
