@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos drift recover fuzz clean
+.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc fuzz clean
 
 all: build
 
@@ -70,6 +70,22 @@ recover:
 		-chaos -chaos-seed 1 -chaos-scenario coord-crash -wal-dir /tmp/jecb-wal
 	$(GO) run ./cmd/jecb -benchmark synthetic -recover -wal-dir /tmp/jecb-wal
 
+# twopc runs the networked-2PC experiment table (transport-backed commit
+# over the chaos bus with a standby coordinator), then checks the
+# determinism contract end-to-end: two same-seed chaos-over-bus pipeline
+# runs must write byte-identical flight-recorder dumps even though every
+# frame crosses a real concurrent transport.
+twopc:
+	$(GO) run ./cmd/experiments -run twopc -quick
+	rm -rf /tmp/jecb-twopc-a /tmp/jecb-twopc-b
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 1500 -chaos -chaos-seed 1 \
+		-chaos-scenario coord-crash -wal-dir /tmp/jecb-twopc-a -transport bus -standby \
+		-flight-dump /tmp/jecb-twopc-a/flight.json
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 1500 -chaos -chaos-seed 1 \
+		-chaos-scenario coord-crash -wal-dir /tmp/jecb-twopc-b -transport bus -standby \
+		-flight-dump /tmp/jecb-twopc-b/flight.json
+	cmp /tmp/jecb-twopc-a/flight.json /tmp/jecb-twopc-b/flight.json
+
 # fuzz gives each fuzz target a short exploration budget beyond the seed
 # corpora that already run in the normal test pass.
 fuzz:
@@ -77,6 +93,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRead -fuzztime=20s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/faults/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=20s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/transport/
 
 clean:
 	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json experiments_obs.json

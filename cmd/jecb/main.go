@@ -35,6 +35,11 @@
 //	               against the benchmark's schema, resolve in-doubt
 //	               transactions (presumed abort) and print the recovered
 //	               per-table digests
+//	-transport bus run the durable replay over a real wire: "bus" is the
+//	               in-proc chaos bus (frames dropped/delayed by the fault
+//	               scenario), "tcp" uses loopback sockets
+//	-standby       with -transport: run a backup coordinator that takes
+//	               over after a coordinator-partition crash
 //
 // Drift flags (workload-drift adaptation replay; synthetic benchmark only):
 //
@@ -69,6 +74,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
+	"repro/internal/twopc"
 	"repro/internal/wal"
 	"repro/internal/workloads"
 	_ "repro/internal/workloads/all"
@@ -85,6 +91,11 @@ type chaosOpts struct {
 	// recover runs standalone crash recovery of walDir instead of the
 	// pipeline.
 	recover bool
+	// transport switches the durable replay onto a real wire ("bus" or
+	// "tcp"); empty keeps the in-process engine.
+	transport string
+	// standby enables the backup coordinator under -transport.
+	standby bool
 }
 
 // driftOpts bundles the workload-drift flags.
@@ -121,6 +132,8 @@ func main() {
 		chaosScenario = flag.String("chaos-scenario", "", "scenario JSON file or builtin name (default single-crash)")
 		walDir        = flag.String("wal-dir", "", "with -chaos: durable 2PC replay with per-partition WALs in this directory; with -recover: the directory to recover")
 		recoverRun    = flag.Bool("recover", false, "recover the partition logs in -wal-dir against the benchmark schema and exit")
+		transportName = flag.String("transport", "", "with -chaos and -wal-dir: run the durable replay over a real wire (bus = in-proc chaos bus, tcp = loopback sockets) instead of the in-process engine")
+		standby       = flag.Bool("standby", false, "with -transport: enable the backup coordinator (lease-based failover after a coordinator-partition crash)")
 
 		driftScenario = flag.String("drift", "", "drift scenario to replay with the adaptation loop ("+strings.Join(drift.BuiltinNames(), ", ")+"); synthetic benchmark only")
 		driftBudget   = flag.Int("drift-budget", 1500, "total moved-tuple budget for drift migrations (<=0 = unbounded)")
@@ -132,7 +145,7 @@ func main() {
 	flag.Parse()
 
 	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario,
-		walDir: *walDir, recover: *recoverRun}
+		walDir: *walDir, recover: *recoverRun, transport: *transportName, standby: *standby}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
 	fo := flightOpts{dump: *flightDump, cap: *flightCap}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
@@ -442,22 +455,40 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 	if err := os.MkdirAll(co.walDir, 0o755); err != nil {
 		return err
 	}
-	fmt.Printf("durable: scenario %q, seed %d, wal-dir %s\n", sc.Name, co.seed, co.walDir)
-	drun, err := sim.New(sim.Scenario{
+	scenario := sim.Scenario{
 		Mode: sim.ModeDurable, DB: d, Solution: sol, Trace: test,
 		Faults: sc, Seed: co.seed, WALDir: co.walDir,
-	}).Run(ctx)
+	}
+	if co.transport != "" {
+		// The networked engine: same WAL-backed 2PC semantics, but every
+		// prepare/decision crosses a real transport with retransmission.
+		scenario.Mode = sim.ModeTwoPC
+		scenario.TwoPC = twopc.Config{Transport: co.transport, Standby: co.standby}
+		fmt.Printf("durable: scenario %q, seed %d, wal-dir %s, transport %s (standby %v)\n",
+			sc.Name, co.seed, co.walDir, co.transport, co.standby)
+	} else {
+		fmt.Printf("durable: scenario %q, seed %d, wal-dir %s\n", sc.Name, co.seed, co.walDir)
+	}
+	drun, err := sim.New(scenario).Run(ctx)
 	if err != nil {
 		return err
 	}
-	dres := drun.Durable
-	fmt.Println("  " + dres.String())
-	ddata, err := json.MarshalIndent(dres, "  ", "  ")
+	var report interface{ String() string }
+	oracleOK := true
+	if drun.Durable != nil {
+		report = drun.Durable
+		oracleOK = drun.Durable.OracleOK
+	} else {
+		report = drun.TwoPC
+		oracleOK = drun.TwoPC.OracleOK
+	}
+	fmt.Println("  " + report.String())
+	ddata, err := json.MarshalIndent(report, "  ", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Println("  " + string(ddata))
-	if !dres.OracleOK {
+	if !oracleOK {
 		// Post-mortem: drop the flight recorder next to the WALs it
 		// indicts, whether or not -flight-dump was given.
 		if rec := obs.ContextRecorder(ctx); rec != nil {

@@ -12,20 +12,26 @@
 // # API migration (parallel-search redesign)
 //
 // The pipeline entry points are unified behind context-first,
-// config-first signatures. The old entry points remain as thin
-// deprecated wrappers (one release of grace); new code should use the
-// right-hand column:
+// config-first signatures. The pre-redesign entry points in the left
+// column had one release of grace as thin deprecated wrappers and have
+// since been REMOVED — the table remains as the migration map for code
+// written against them:
 //
-//	Deprecated entry point                      Canonical replacement
+//	Removed entry point                         Canonical replacement
 //	------------------------------------------  ------------------------------------------------
 //	core.PartitionContext(ctx, in, opts)        core.Partition(ctx, in, opts)
 //	core.RepartitionContext(ctx, in, o, p, t)   core.Repartition(ctx, in, o, p, t)
-//	sim.Run(d, sol, tr, cfg)                    sim.New(sim.Scenario{DB:…}).Run(ctx)
 //	sim.RunChaos[Context](…)                    sim.New(sim.Scenario{Mode: sim.ModeChaos, …}).Run(ctx)
 //	sim.RunChaosDurable[Context](…)             sim.New(sim.Scenario{Mode: sim.ModeDurable, WALDir:…}).Run(ctx)
 //	sim.RunDriftStatic(…)                       sim.New(sim.Scenario{Mode: sim.ModeDriftStatic, …}).Run(ctx)
 //	sim.RunDriftAdaptive(…)                     sim.New(sim.Scenario{Mode: sim.ModeDriftAdaptive, Repartition:…}).Run(ctx)
 //	sim.RunDriftOracle(…)                       sim.New(sim.Scenario{Mode: sim.ModeDriftOracle, Repartition:…}).Run(ctx)
+//
+// Two router entry points remain as deprecated-but-working wrappers
+// (they are the implementation behind the canonical call):
+//
+//	Deprecated entry point                      Canonical replacement
+//	------------------------------------------  ------------------------------------------------
 //	router.(*Router).RoutePartitions(c, p)      router.(*Router).Route(ctx, router.Request{Class: c, Params: p})
 //	router.(*Router).RouteSafe(c, p, h)         router.(*Router).Route(ctx, router.Request{Class: c, Params: p, Health: h})
 //	router.(*EpochRouter).RoutePartitions(c,p)  router.(*EpochRouter).Route(ctx, router.Request{…})
@@ -33,7 +39,9 @@
 //
 // (Router.Route's old health-oblivious signature was renamed
 // RoutePartitions to free the canonical name; a nil Request.Health
-// routes as if every node were up and reproduces its partition sets.)
+// routes as if every node were up and reproduces its partition sets.
+// sim.Run(d, sol, tr, cfg), the fault-free analytic replay, also
+// remains — it is the ModePlain engine.)
 // The search itself is parallel behind core.Options.Parallelism with
 // bit-identical results for any worker count — see DESIGN.md, "Parallel
 // search & the determinism contract".

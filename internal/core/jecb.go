@@ -181,9 +181,9 @@ func (p *Partitioner) RunContext(ctx context.Context) (*partition.Solution, *Rep
 	if err != nil {
 		return nil, nil, err
 	}
-	_, s3 := obs.StartSpan(ctx, "jecb/phase3")
+	ctx3, s3 := obs.StartSpan(ctx, "jecb/phase3")
 	s3.SetAttr("workers", p.opts.parallelism())
-	sol, rep, err := p.phase3(pre, classes)
+	sol, rep, err := p.phase3(ctx3, pre, classes)
 	if rep != nil {
 		s3.SetAttr("combos", rep.CombosEvaluated)
 	}
@@ -204,12 +204,4 @@ func Partition(ctx context.Context, in Input, opts Options) (*partition.Solution
 		return nil, nil, err
 	}
 	return p.RunContext(ctx)
-}
-
-// PartitionContext is a compatibility alias for Partition.
-//
-// Deprecated: Partition is context-first since the parallel-search
-// redesign; call Partition(ctx, in, opts) directly.
-func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.Solution, *Report, error) {
-	return Partition(ctx, in, opts)
 }

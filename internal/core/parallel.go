@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,10 +38,15 @@ func (o Options) parallelism() int {
 // workers <= 1 it degenerates to a plain loop (no goroutines at all), so
 // the Parallelism=1 path is exactly the sequential code.
 //
+// Cancelling ctx stops the pool between items: no new index is claimed
+// once ctx.Err() is non-nil, in-flight fn calls finish, and the context's
+// error is returned. Callers must treat a non-nil return as "some slots
+// never ran" and surface the error before folding results.
+//
 // queue, when non-nil, tracks the approximate number of unclaimed items.
-func forEachIndexed(workers, n int, queue *obs.Gauge, fn func(i int)) {
+func forEachIndexed(ctx context.Context, workers, n int, queue *obs.Gauge, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
@@ -51,9 +57,12 @@ func forEachIndexed(workers, n int, queue *obs.Gauge, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -61,7 +70,7 @@ func forEachIndexed(workers, n int, queue *obs.Gauge, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -74,6 +83,7 @@ func forEachIndexed(workers, n int, queue *obs.Gauge, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // forEachShard splits [0, n) into at most `workers` contiguous half-open
@@ -83,16 +93,23 @@ func forEachIndexed(workers, n int, queue *obs.Gauge, fn func(i int)) {
 // results for any actual interleaving; callers whose accumulation is
 // commutative (integer sums, disjoint index writes) get identical results
 // for any worker count. With workers <= 1 it is a direct call.
-func forEachShard(workers, n int, fn func(shard, lo, hi int)) int {
+//
+// Cancelling ctx skips shards not yet started (each worker checks before
+// calling fn) and returns the context's error; a shard already inside fn
+// runs to completion.
+func forEachShard(ctx context.Context, workers, n int, fn func(shard, lo, hi int)) (int, error) {
 	if n <= 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		fn(0, 0, n)
-		return 1
+		return 1, ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -100,9 +117,12 @@ func forEachShard(workers, n int, fn func(shard, lo, hi int)) int {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			fn(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	return workers
+	return workers, ctx.Err()
 }

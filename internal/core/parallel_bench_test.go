@@ -68,7 +68,7 @@ func benchPhase3(b *testing.B, bench workloads.Benchmark, scale, txns int) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := p.phase3(pre, classes); err != nil {
+				if _, _, err := p.phase3(context.Background(), pre, classes); err != nil {
 					b.Fatal(err)
 				}
 			}

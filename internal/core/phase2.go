@@ -85,11 +85,22 @@ func (p *Partitioner) phase2(ctx context.Context, pre *preprocessed) (map[string
 	}
 	results := make([]*ClassResult, len(classNames))
 	errs := make([]error, len(classNames))
-	forEachIndexed(workers, len(classNames), gPhase2Queue, func(i int) {
+	poolErr := forEachIndexed(ctx, workers, len(classNames), gPhase2Queue, func(i int) {
 		class := classNames[i]
-		results[i], errs[i] = p.solveClass(pre, class, pre.Streams[class], testStreams[class])
+		results[i], errs[i] = p.solveClass(ctx, pre, class, pre.Streams[class], testStreams[class])
 		spans[i].End()
 	})
+	if poolErr != nil {
+		// Cancelled: close the spans of classes the pool never dispatched
+		// (both slots still zero) and surface the context error itself, so
+		// callers see the same error whatever the workers got through.
+		for i := range spans {
+			if results[i] == nil && errs[i] == nil {
+				spans[i].End()
+			}
+		}
+		return nil, fmt.Errorf("core: phase 2: %w", poolErr)
+	}
 
 	out := make(map[string]*ClassResult, len(pre.Streams))
 	for i, class := range classNames {
@@ -111,7 +122,7 @@ func (p *Partitioner) phase2(ctx context.Context, pre *preprocessed) (map[string
 	return out, nil
 }
 
-func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testStream *trace.Trace) (*ClassResult, error) {
+func (p *Partitioner) solveClass(ctx context.Context, pre *preprocessed, class string, stream, testStream *trace.Trace) (*ClassResult, error) {
 	res := &ClassResult{Class: class, Mix: pre.Mix[class]}
 	a := pre.Analyses[class]
 	g := joingraph.Build(a, p.in.DB.Schema(), pre.Replicated)
@@ -129,7 +140,7 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 	if len(trees) == 0 {
 		// §5.2 case 2: no root attributes — split the graph and harvest
 		// partial solutions from the subgraphs.
-		p.addPartialsFromSplit(res, g, stream)
+		p.addPartialsFromSplit(ctx, res, g, stream)
 		if len(res.Partial) == 0 {
 			res.NonPartitionable = true
 		}
@@ -145,7 +156,7 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 	fracs := make([]float64, len(trees))
 	bestFrac := 0.0
 	for i, t := range trees {
-		f, err := p.singleValueFraction(t, stream, nil)
+		f, err := p.singleValueFraction(ctx, t, stream, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +185,7 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 		// Partial solutions from the sub-join trees of each total
 		// solution (§5.3 end).
 		for _, t := range keep {
-			if err := p.addPartialsFromSubtrees(res, t, stream); err != nil {
+			if err := p.addPartialsFromSubtrees(ctx, res, t, stream); err != nil {
 				return nil, err
 			}
 		}
@@ -189,7 +200,7 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 	// range mappings on unseen data.
 	if !p.opts.DisableMinCutFallback {
 		cMinCutFall.Inc()
-		best, err := p.minCutSolution(class, trees, stream, testStream)
+		best, err := p.minCutSolution(ctx, class, trees, stream, testStream)
 		if err != nil {
 			return nil, err
 		}
@@ -213,13 +224,13 @@ func (p *Partitioner) solveClass(pre *preprocessed, class string, stream, testSt
 // (db.PathEval memo caches are per shard: they are not safe to share);
 // the per-shard counts fold by integer addition, so the fraction is
 // identical for any worker count.
-func (p *Partitioner) singleValueFraction(tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (float64, error) {
+func (p *Partitioner) singleValueFraction(ctx context.Context, tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (float64, error) {
 	if stream.Len() == 0 {
 		return 1, nil
 	}
 	workers := p.opts.parallelism()
 	counts := make([]int, workers)
-	forEachShard(workers, stream.Len(), func(shard, lo, hi int) {
+	_, shardErr := forEachShard(ctx, workers, stream.Len(), func(shard, lo, hi int) {
 		evals := map[string]*db.PathEval{}
 		for tbl, path := range tree.Paths {
 			if tables == nil || tables[tbl] {
@@ -253,6 +264,9 @@ func (p *Partitioner) singleValueFraction(tree *joingraph.Tree, stream *trace.Tr
 		}
 		counts[shard] = single
 	})
+	if shardErr != nil {
+		return 0, shardErr
+	}
 	single := 0
 	for _, c := range counts {
 		single += c
@@ -261,8 +275,8 @@ func (p *Partitioner) singleValueFraction(tree *joingraph.Tree, stream *trace.Tr
 }
 
 // mappingIndependent is the exact Definition 7 predicate.
-func (p *Partitioner) mappingIndependent(tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (bool, error) {
-	f, err := p.singleValueFraction(tree, stream, tables)
+func (p *Partitioner) mappingIndependent(ctx context.Context, tree *joingraph.Tree, stream *trace.Trace, tables map[string]bool) (bool, error) {
+	f, err := p.singleValueFraction(ctx, tree, stream, tables)
 	return f == 1, err
 }
 
@@ -277,9 +291,9 @@ func (p *Partitioner) mappingIndependent(tree *joingraph.Tree, stream *trace.Tra
 //
 // Transactions shard across workers into contiguous ranges; each shard
 // writes only its own out[i] slots with a private PathEval memo.
-func (p *Partitioner) rootValueSets(tree *joingraph.Tree, stream *trace.Trace) ([][]value.Value, error) {
+func (p *Partitioner) rootValueSets(ctx context.Context, tree *joingraph.Tree, stream *trace.Trace) ([][]value.Value, error) {
 	out := make([][]value.Value, stream.Len())
-	forEachShard(p.opts.parallelism(), stream.Len(), func(_, lo, hi int) {
+	_, shardErr := forEachShard(ctx, p.opts.parallelism(), stream.Len(), func(_, lo, hi int) {
 		evals := map[string]*db.PathEval{}
 		for tbl, path := range tree.Paths {
 			evals[tbl] = db.NewPathEval(p.in.DB, path)
@@ -303,6 +317,9 @@ func (p *Partitioner) rootValueSets(tree *joingraph.Tree, stream *trace.Trace) (
 			out[i] = vals
 		}
 	})
+	if shardErr != nil {
+		return nil, shardErr
+	}
 	return out, nil
 }
 
@@ -323,13 +340,13 @@ func sortValues(vals []value.Value) {
 // accept the lookup mapping only if it is "meaningful" — cheaper on the
 // test stream than both hash and range mappings. It returns the best
 // meaningful solution across trees, or nil.
-func (p *Partitioner) minCutSolution(class string, trees []*joingraph.Tree, stream, testStream *trace.Trace) (*ClassSolution, error) {
+func (p *Partitioner) minCutSolution(ctx context.Context, class string, trees []*joingraph.Tree, stream, testStream *trace.Trace) (*ClassSolution, error) {
 	if testStream == nil {
 		testStream = stream
 	}
 	var best *ClassSolution
 	for _, tree := range trees {
-		sets, err := p.rootValueSets(tree, stream)
+		sets, err := p.rootValueSets(ctx, tree, stream)
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +443,7 @@ func (p *Partitioner) classCost(tree *joingraph.Tree, m partition.Mapper, stream
 
 // addPartialsFromSubtrees walks the sub-join trees of a total solution,
 // adding every mapping-independent one as a partial solution (§5.3 end).
-func (p *Partitioner) addPartialsFromSubtrees(res *ClassResult, tree *joingraph.Tree, stream *trace.Trace) error {
+func (p *Partitioner) addPartialsFromSubtrees(ctx context.Context, res *ClassResult, tree *joingraph.Tree, stream *trace.Trace) error {
 	queue := subTrees(tree)
 	for len(queue) > 0 {
 		sub := queue[len(queue)-1]
@@ -435,7 +452,7 @@ func (p *Partitioner) addPartialsFromSubtrees(res *ClassResult, tree *joingraph.
 		for tbl := range sub.Paths {
 			covered[tbl] = true
 		}
-		ok, err := p.mappingIndependent(sub, stream, covered)
+		ok, err := p.mappingIndependent(ctx, sub, stream, covered)
 		if err != nil {
 			return err
 		}
@@ -452,7 +469,7 @@ func (p *Partitioner) addPartialsFromSubtrees(res *ClassResult, tree *joingraph.
 
 // addPartialsFromSplit handles §5.2 case 2: split the rootless graph and
 // keep mapping-independent trees of each subgraph as partial solutions.
-func (p *Partitioner) addPartialsFromSplit(res *ClassResult, g *joingraph.Graph, stream *trace.Trace) {
+func (p *Partitioner) addPartialsFromSplit(ctx context.Context, res *ClassResult, g *joingraph.Graph, stream *trace.Trace) {
 	for _, sub := range g.Split() {
 		if len(sub.Tables) == 0 {
 			continue
@@ -469,7 +486,7 @@ func (p *Partitioner) addPartialsFromSplit(res *ClassResult, g *joingraph.Graph,
 		bestFrac := 0.0
 		fracs := make([]float64, len(trees))
 		for i, t := range trees {
-			f, err := p.singleValueFraction(t, stream, covered)
+			f, err := p.singleValueFraction(ctx, t, stream, covered)
 			if err != nil {
 				continue
 			}

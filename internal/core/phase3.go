@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,7 +23,9 @@ type tableCandidate struct {
 }
 
 // phase3 combines per-class solutions into the global solution (§6).
-func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult) (*partition.Solution, *Report, error) {
+// Cancelling ctx aborts the candidate-costing pool between items and
+// surfaces the context's error before any fold touches the cost slots.
+func (p *Partitioner) phase3(ctx context.Context, pre *preprocessed, classes map[string]*ClassResult) (*partition.Solution, *Report, error) {
 	sc := p.in.DB.Schema()
 	compat := newAttrCompat(sc)
 
@@ -120,7 +123,7 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 	gPhase3Workers.Set(float64(workers))
 	costs := make([]float64, len(cands))
 	errs := make([]error, len(cands))
-	forEachIndexed(workers, len(cands), gPhase3Queue, func(i int) {
+	poolErr := forEachIndexed(ctx, workers, len(cands), gPhase3Queue, func(i int) {
 		a, err := eval.NewAssignerCached(p.in.DB, cands[i].sol, nav)
 		if err != nil {
 			errs[i] = err
@@ -128,6 +131,11 @@ func (p *Partitioner) phase3(pre *preprocessed, classes map[string]*ClassResult)
 		}
 		costs[i] = a.Evaluate(p.in.Train).Cost()
 	})
+	if poolErr != nil {
+		// Cancelled: unclaimed slots hold a zero cost that must never reach
+		// the argmin below.
+		return nil, nil, fmt.Errorf("core: phase 3: %w", poolErr)
+	}
 	for i, c := range cands {
 		rep.CombosEvaluated++
 		cCombosEval.Inc()

@@ -110,7 +110,7 @@ func TestProperty1CoarserPreservesMI(t *testing.T) {
 		covered := map[string]bool{"A": true}
 		prevMI := false
 		for _, tree := range trees { // finest to coarsest
-			mi, err := p.mappingIndependent(tree, w.tr, covered)
+			mi, err := p.mappingIndependent(context.Background(), tree, w.tr, covered)
 			if err != nil {
 				return false
 			}
@@ -121,7 +121,7 @@ func TestProperty1CoarserPreservesMI(t *testing.T) {
 		}
 		// The coarsest (C_G) tree is mapping independent by construction:
 		// each transaction touches exactly one group's closure.
-		mi, err := p.mappingIndependent(trees[2], w.tr, covered)
+		mi, err := p.mappingIndependent(context.Background(), trees[2], w.tr, covered)
 		return err == nil && mi
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -144,7 +144,7 @@ func TestProperty1Monotonicity(t *testing.T) {
 				Root:  pa.Dest(),
 				Paths: map[string]schema.JoinPath{"A": pa},
 			}
-			frac, err := p.singleValueFraction(tree, w.tr, covered)
+			frac, err := p.singleValueFraction(context.Background(), tree, w.tr, covered)
 			if err != nil {
 				return false
 			}

@@ -51,14 +51,6 @@ func (r *RepartitionResult) String() string {
 		mode, 100*r.PrevCost, 100*r.Cost)
 }
 
-// RepartitionContext is a compatibility alias for Repartition.
-//
-// Deprecated: Repartition is context-first since the parallel-search
-// redesign; call Repartition(ctx, in, opts, prev, tol) directly.
-func RepartitionContext(ctx context.Context, in Input, opts Options, prev *partition.Solution, tol float64) (*RepartitionResult, error) {
-	return Repartition(ctx, in, opts, prev, tol)
-}
-
 // Repartition warm-starts JECB from a previously deployed
 // solution against a fresh training window:
 //

@@ -90,9 +90,9 @@ func CrashPhases() []string {
 // point fires on the Seq-th (1-based) distributed commit round that
 // qualifies: for before-prepare, any round Node participates in; for
 // before-commit and after-decision, a round Node coordinates. The
-// analytic chaos replay (sim.RunChaos) ignores crash points — they only
+// analytic chaos replay (sim.ModeChaos) ignores crash points — they only
 // have meaning where a real 2PC state machine executes
-// (sim.RunChaosDurable).
+// (sim.ModeDurable).
 type CrashPoint struct {
 	Node  int    `json:"node"`
 	Phase string `json:"phase"`
@@ -481,4 +481,20 @@ func (p RetryPolicy) Backoff(retry int, in *Injector) float64 {
 		b = p.MaxBackoffSec
 	}
 	return b * in.Jitter(p.JitterFrac)
+}
+
+// BackoffAt is the jitter-free wait before retry number retry:
+// base·2^(retry-1) capped at MaxBackoffSec. Transport-level
+// retransmission loops pace themselves with it — an Injector's shared
+// jitter stream is not concurrency-safe, and sampling it from message
+// loops would make wire retries perturb transaction-level draws.
+func (p RetryPolicy) BackoffAt(retry int) float64 {
+	if retry < 1 {
+		retry = 1
+	}
+	b := p.BaseBackoffSec * math.Pow(2, float64(retry-1))
+	if b > p.MaxBackoffSec {
+		b = p.MaxBackoffSec
+	}
+	return b
 }

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRetryPolicyZeroMaxAttempts pins the two faces of a zero attempt
+// budget: raw, a zero MaxAttempts drives zero loop iterations in every
+// engine retry loop (attempt <= MaxAttempts); defaulted, it is restored
+// to the standard budget. Code that wants "no retries" must therefore
+// set MaxAttempts explicitly AFTER WithDefaults, never rely on the zero
+// value surviving it.
+func TestRetryPolicyZeroMaxAttempts(t *testing.T) {
+	raw := RetryPolicy{MaxAttempts: 0, BaseBackoffSec: 0.01, MaxBackoffSec: 0.1}
+	runs := 0
+	for attempt := 1; attempt <= raw.MaxAttempts; attempt++ {
+		runs++
+	}
+	if runs != 0 {
+		t.Fatalf("zero MaxAttempts ran %d attempts", runs)
+	}
+	if got := raw.WithDefaults().MaxAttempts; got != 6 {
+		t.Fatalf("WithDefaults MaxAttempts = %d, want 6", got)
+	}
+	one := RetryPolicy{MaxAttempts: 1}.WithDefaults()
+	if one.MaxAttempts != 1 {
+		t.Fatalf("explicit MaxAttempts=1 overwritten to %d", one.MaxAttempts)
+	}
+}
+
+// TestBackoffCapSaturation pins the capped-exponential schedule at and
+// far past the saturation point: once base·2^(r-1) crosses MaxBackoffSec
+// every later retry waits exactly the cap — including retries so deep
+// the uncapped exponent overflows float64 to +Inf.
+func TestBackoffCapSaturation(t *testing.T) {
+	p := RetryPolicy{BaseBackoffSec: 0.010, MaxBackoffSec: 0.100, MaxAttempts: 64, JitterFrac: -1}.WithDefaults()
+	// 0.010, 0.020, 0.040, 0.080, then the cap.
+	want := []float64{0.010, 0.020, 0.040, 0.080, 0.100, 0.100}
+	for i, w := range want {
+		if got := p.BackoffAt(i + 1); math.Abs(got-w) > 1e-12 {
+			t.Errorf("BackoffAt(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	for _, r := range []int{10, 100, 1500} {
+		if got := p.BackoffAt(r); got != p.MaxBackoffSec {
+			t.Errorf("BackoffAt(%d) = %v, want saturated cap %v", r, got, p.MaxBackoffSec)
+		}
+	}
+	if got := p.BackoffAt(-3); got != p.BaseBackoffSec {
+		t.Errorf("BackoffAt(-3) = %v, want first-retry clamp %v", got, p.BaseBackoffSec)
+	}
+}
+
+// TestBackoffAtMatchesJitterFreeBackoff ties the two schedules together:
+// BackoffAt must be exactly Backoff under a zero jitter fraction, so the
+// transport's jitter-free pacing and the transaction loop's jittered one
+// share one curve.
+func TestBackoffAtMatchesJitterFreeBackoff(t *testing.T) {
+	in, err := NewInjector(&Scenario{Name: "none"}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RetryPolicy{BaseBackoffSec: 0.02, MaxBackoffSec: 0.5, MaxAttempts: 12, JitterFrac: -1}.WithDefaults()
+	for r := 0; r <= 12; r++ {
+		if got, want := p.BackoffAt(r), p.Backoff(r, in); got != want {
+			t.Fatalf("retry %d: BackoffAt %v != jitter-free Backoff %v", r, got, want)
+		}
+	}
+}
+
+// TestJitterDeterminismAcrossInjectors pins the chaos-replay contract
+// the twopc harness leans on: two injectors built from the same
+// (scenario, k, seed) draw identical jitter streams, so a re-run paces
+// every backoff identically; a different seed diverges.
+func TestJitterDeterminismAcrossInjectors(t *testing.T) {
+	sc, err := Builtin("flaky-network", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RetryPolicy{}.WithDefaults()
+	draw := func(seed int64) []float64 {
+		in, err := NewInjector(sc, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 100)
+		for i := range out {
+			out[i] = p.Backoff(i%p.MaxAttempts+1, in)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed injectors diverged at backoff %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}

@@ -143,24 +143,15 @@ func (r *ChaosResult) String() string {
 		r.PermanentFailures, r.RetryLatencyP99)
 }
 
-// RunChaos replays the trace under the solution against a fault scenario:
+// runChaos replays the trace under the solution against a fault scenario:
 // transaction i arrives at virtual time i/rate; an attempt commits only
 // when every participant is reachable and no coordination message is
 // lost, otherwise it aborts, charges wasted work to the reachable
 // participants, and retries under capped exponential backoff with jitter
-// until the retry policy's attempt budget is exhausted.
-//
-// Deprecated: use New(Scenario{Mode: ModeChaos, ...}).Run(ctx).
-func RunChaos(d *db.DB, sol *partition.Solution, tr *trace.Trace,
-	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
-	return RunChaosContext(context.Background(), d, sol, tr, cfg, sc, seed)
-}
-
-// RunChaosContext is RunChaos under a phase span ("sim/chaos").
-//
-// Deprecated: use New(Scenario{Mode: ModeChaos, ...}).Run(ctx).
-// RunChaosContext remains as the implementation behind it.
-func RunChaosContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
+// until the retry policy's attempt budget is exhausted. It is the engine
+// behind New(Scenario{Mode: ModeChaos, ...}).Run(ctx) and runs under a
+// phase span ("sim/chaos").
+func runChaos(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
 	_, span := obs.StartSpan(ctx, "sim/chaos")
 	defer span.End()

@@ -33,7 +33,7 @@ func TestChaosDeterministicReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	runJSON := func(seed int64) []byte {
-		r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, seed)
+		r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func TestChaosCrashForcesRetries(t *testing.T) {
 		Name:    "mid-crash",
 		Crashes: []faults.Window{{Node: 0, Start: 2, End: 4}},
 	}
-	r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, 1)
+	r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestChaosNoFaultsMatchesBaselineShape(t *testing.T) {
 	_, tr := chaosFixture(t)
 	sol := custInfoSolution(2)
 	sc, _ := faults.Builtin("none", 2)
-	r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, 1)
+	r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestChaosPermanentFailure(t *testing.T) {
 		Name:    "perma",
 		Crashes: []faults.Window{{Node: 0, Start: 0}}, // never recovers
 	}
-	r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, 1)
+	r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestChaosReplicatedReadDegradesToUpNode(t *testing.T) {
 		Name:    "one-down",
 		Crashes: []faults.Window{{Node: 0, Start: 0}},
 	}
-	r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, 1)
+	r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +216,11 @@ func TestChaosScatteringDegradesWorse(t *testing.T) {
 	bad.Set(partition.NewByPath("CUSTOMER_ACCOUNT", singleCol("CUSTOMER_ACCOUNT", "CA_ID"), partition.NewHash(4)))
 	bad.Set(partition.NewReplicated("HOLDING_SUMMARY"))
 	sc, _ := faults.Builtin("single-crash", 4)
-	rg, err := RunChaos(d, good, tr, ChaosConfig{}, sc, 1)
+	rg, err := chaosScenario(d, good, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := RunChaos(d, bad, tr, ChaosConfig{}, sc, 1)
+	rb, err := chaosScenario(d, bad, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

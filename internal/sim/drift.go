@@ -204,43 +204,6 @@ func (m driftMode) String() string {
 	}
 }
 
-// RunDriftStatic replays the trace window-by-window under a fixed
-// solution — the drift-blind baseline.
-//
-// Deprecated: use New(Scenario{Mode: ModeDriftStatic, ...}).Run(ctx).
-func RunDriftStatic(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg DriftConfig) (*DriftResult, error) {
-	return runDrift(context.Background(), d, sol, tr, cfg, modeStatic, nil)
-}
-
-// RunDriftAdaptive replays the trace with the full adaptation loop:
-// detector-triggered warm repartitioning (repart), bounded migration, and
-// epoch swap to the migration plan's hybrid solution.
-//
-// Deprecated: use New(Scenario{Mode: ModeDriftAdaptive, Repartition:
-// repart, ...}).Run(ctx).
-func RunDriftAdaptive(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg DriftConfig, repart RepartitionFunc) (*DriftResult, error) {
-	if repart == nil {
-		return nil, fmt.Errorf("sim: adaptive drift replay without a repartition func")
-	}
-	return runDrift(context.Background(), d, sol, tr, cfg, modeAdaptive, repart)
-}
-
-// RunDriftOracle replays the trace with a free, instantaneous swap to the
-// post-drift optimum at cfg.DriftAt — no detection lag, no movement cost.
-// It is the adaptive mode's lower bound.
-//
-// Deprecated: use New(Scenario{Mode: ModeDriftOracle, Repartition:
-// repart, ...}).Run(ctx).
-func RunDriftOracle(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg DriftConfig, repart RepartitionFunc) (*DriftResult, error) {
-	if repart == nil {
-		return nil, fmt.Errorf("sim: oracle drift replay without a repartition func")
-	}
-	if cfg.DriftAt <= 0 {
-		return nil, fmt.Errorf("sim: oracle drift replay requires DriftAt")
-	}
-	return runDrift(context.Background(), d, sol, tr, cfg, modeOracle, repart)
-}
-
 // windowStats replays one window under an assigner without charging work:
 // it returns the distributed fraction and the per-partition heat vector
 // (participant counts; distributed all-node transactions heat every

@@ -77,7 +77,7 @@ func TestDriftStaticMatchesRunTotals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dr, err := RunDriftStatic(d, sol, tr, DriftConfig{WindowSize: 100})
+	dr, err := driftScenario(ModeDriftStatic, d, sol, tr, DriftConfig{WindowSize: 100}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestDriftAdaptiveSwapsAndCharges(t *testing.T) {
 		calls++
 		return flip, nil
 	}
-	res, err := RunDriftAdaptive(d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100}, repart)
+	res, err := driftScenario(ModeDriftAdaptive, d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100}, repart)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestDriftAdaptiveSwapsAndCharges(t *testing.T) {
 	}
 	// Migration work landed on node budgets: total node work exceeds the
 	// static replay's by at least the migration work.
-	static, err := RunDriftStatic(d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100})
+	static, err := driftScenario(ModeDriftStatic, d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestDriftWarmAcceptDoesNotSwap(t *testing.T) {
 	repart := func(win *trace.Trace, prev *partition.Solution) (*partition.Solution, error) {
 		return prev, nil // deployed trees still fit
 	}
-	res, err := RunDriftAdaptive(d, good, tr, DriftConfig{WindowSize: 50}, repart)
+	res, err := driftScenario(ModeDriftAdaptive, d, good, tr, DriftConfig{WindowSize: 50}, repart)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestDriftOracleSwapsOnceAtDriftPoint(t *testing.T) {
 	repart := func(win *trace.Trace, prev *partition.Solution) (*partition.Solution, error) {
 		return rotatedSolution(prev), nil
 	}
-	res, err := RunDriftOracle(d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100}, repart)
+	res, err := driftScenario(ModeDriftOracle, d, good, tr, DriftConfig{WindowSize: 50, DriftAt: 100}, repart)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,16 +210,16 @@ func TestDriftErrors(t *testing.T) {
 	tr := fixture.MixedTrace(d, 100, 2)
 	sol := custInfoSolution(2)
 	keep := func(w *trace.Trace, p *partition.Solution) (*partition.Solution, error) { return p, nil }
-	if _, err := RunDriftAdaptive(d, sol, tr, DriftConfig{}, nil); err == nil {
+	if _, err := driftScenario(ModeDriftAdaptive, d, sol, tr, DriftConfig{}, nil); err == nil {
 		t.Error("adaptive without repart func must error")
 	}
-	if _, err := RunDriftOracle(d, sol, tr, DriftConfig{}, nil); err == nil {
+	if _, err := driftScenario(ModeDriftOracle, d, sol, tr, DriftConfig{}, nil); err == nil {
 		t.Error("oracle without repart func must error")
 	}
-	if _, err := RunDriftOracle(d, sol, tr, DriftConfig{}, keep); err == nil {
+	if _, err := driftScenario(ModeDriftOracle, d, sol, tr, DriftConfig{}, keep); err == nil {
 		t.Error("oracle without DriftAt must error")
 	}
-	if _, err := RunDriftStatic(d, sol, &trace.Trace{}, DriftConfig{}); err == nil {
+	if _, err := driftScenario(ModeDriftStatic, d, sol, &trace.Trace{}, DriftConfig{}, nil); err == nil {
 		t.Error("empty trace must error")
 	}
 }
@@ -231,7 +231,7 @@ func TestDriftResultJSONDeterministic(t *testing.T) {
 	tr := fixture.MixedTrace(d, 300, 2)
 	sol := badTradeSolution(2)
 	run := func() []byte {
-		r, err := RunDriftStatic(d, sol, tr, DriftConfig{WindowSize: 75, DriftAt: 150})
+		r, err := driftScenario(ModeDriftStatic, d, sol, tr, DriftConfig{WindowSize: 75, DriftAt: 150}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -460,25 +460,15 @@ type cpState struct {
 	fired bool
 }
 
-// RunChaosDurable replays the trace through a real durable 2PC state
+// runChaosDurable replays the trace through a real durable 2PC state
 // machine: per-partition write-ahead logs under walDir, periodic
 // checkpoints, scripted mid-2PC crash points, and — after a simulated
 // full-cluster crash at end of run — WAL recovery with presumed-abort
 // resolution and a consistency oracle that re-executes exactly the
-// committed set on fault-free stores and compares per-table digests.
-//
-// Deprecated: use New(Scenario{Mode: ModeDurable, ...}).Run(ctx).
-func RunChaosDurable(d *db.DB, sol *partition.Solution, tr *trace.Trace,
-	cfg DurableConfig, sc *faults.Scenario, seed int64, walDir string) (*DurableResult, error) {
-	return RunChaosDurableContext(context.Background(), d, sol, tr, cfg, sc, seed, walDir)
-}
-
-// RunChaosDurableContext is RunChaosDurable under a phase span
-// ("sim/durable").
-//
-// Deprecated: use New(Scenario{Mode: ModeDurable, ...}).Run(ctx).
-// RunChaosDurableContext remains as the implementation behind it.
-func RunChaosDurableContext(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
+// committed set on fault-free stores and compares per-table digests. It
+// is the engine behind New(Scenario{Mode: ModeDurable, ...}).Run(ctx)
+// and runs under a phase span ("sim/durable").
+func runChaosDurable(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace,
 	cfg DurableConfig, sc *faults.Scenario, seed int64, walDir string) (*DurableResult, error) {
 	_, span := obs.StartSpan(ctx, "sim/durable")
 	defer span.End()

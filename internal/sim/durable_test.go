@@ -38,7 +38,7 @@ func TestDurableOracleAllBuiltins(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := RunChaosDurable(d, sol, tr, DurableConfig{CheckpointEvery: 16}, sc, 1, t.TempDir())
+			r, err := durableScenario(d, sol, tr, DurableConfig{CheckpointEvery: 16}, sc, 1, t.TempDir())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -105,7 +105,7 @@ func TestDurableDeterministicReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	runJSON := func(seed int64) []byte {
-		r, err := RunChaosDurable(d, sol, tr, DurableConfig{}, sc, seed, t.TempDir())
+		r, err := durableScenario(d, sol, tr, DurableConfig{}, sc, seed, t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func TestDurableAbortsLeaveNoTrace(t *testing.T) {
 	tr := fixture.MixedTrace(d, 300, 3)
 	sol := scatterSolution(2)
 	sc := &faults.Scenario{Name: "all-lost", MsgLossProb: 1}
-	r, err := RunChaosDurable(d, sol, tr, DurableConfig{}, sc, 1, t.TempDir())
+	r, err := durableScenario(d, sol, tr, DurableConfig{}, sc, 1, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestDurableCheckpointRecoveryEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(every int) *DurableResult {
-		r, err := RunChaosDurable(d, sol, tr, DurableConfig{CheckpointEvery: every}, sc, 3, t.TempDir())
+		r, err := durableScenario(d, sol, tr, DurableConfig{CheckpointEvery: every}, sc, 3, t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestDurableLogsSurviveForPostMortem(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	r, err := RunChaosDurable(d, sol, tr, DurableConfig{}, sc, 1, dir)
+	r, err := durableScenario(d, sol, tr, DurableConfig{}, sc, 1, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

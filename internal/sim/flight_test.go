@@ -26,7 +26,7 @@ func TestFlightTraceCompleteness(t *testing.T) {
 	const seed = int64(7)
 	rec := obs.NewRecorder(1 << 17) // ample: nothing may be overwritten
 	cfg := ChaosConfig{Recorder: rec}
-	r, err := RunChaos(d, sol, tr, cfg, sc, seed)
+	r, err := chaosScenario(d, sol, tr, cfg, sc, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestChaosLatencyAndSLO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RunChaos(d, sol, tr, ChaosConfig{}, sc, 1)
+	r, err := chaosScenario(d, sol, tr, ChaosConfig{}, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestChaosLatencyAndSLO(t *testing.T) {
 	}
 	// A sub-percent-availability scenario must trip the guardrail.
 	tight := ChaosConfig{SLO: obs.SLOConfig{TargetP99Sec: 1e-9, WindowTxns: 64}}
-	r2, err := RunChaos(d, sol, tr, tight, sc, 1)
+	r2, err := chaosScenario(d, sol, tr, tight, sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestChaosLatencyAndSLO(t *testing.T) {
 func TestDriftSLOProxy(t *testing.T) {
 	d := fixture.CustInfoDB()
 	tr := fixture.MixedTrace(d, 400, 2)
-	r, err := RunDriftStatic(d, custInfoSolution(2), tr, DriftConfig{WindowSize: 100})
+	r, err := driftScenario(ModeDriftStatic, d, custInfoSolution(2), tr, DriftConfig{WindowSize: 100}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,12 +9,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/trace"
+	"repro/internal/twopc"
 )
 
 // Four PRs of organic growth left this package with six mode-specific
-// entry points (Run, RunChaos, RunChaosDurable, RunDriftStatic,
-// RunDriftAdaptive, RunDriftOracle) plus their *Context twins. The
-// config-first API below replaces the sprawl with one entry point:
+// entry points plus their *Context twins. The config-first API below
+// replaced the sprawl with one entry point:
 //
 //	res, err := sim.New(sim.Scenario{
 //	    Mode:     sim.ModeChaos,
@@ -26,8 +26,10 @@ import (
 //	    Seed:     42,
 //	}).Run(ctx)
 //
-// The old functions remain as thin deprecated wrappers; see doc.go at the
-// repository root for the migration table.
+// The deprecated wrappers (RunChaos, RunChaosDurable, RunDrift*) have
+// been removed after a release of grace; their engines live on as the
+// unexported runChaos/runChaosDurable/runDrift behind the dispatch. See
+// doc.go at the repository root for the migration table.
 
 // Mode selects which replay a Scenario describes.
 type Mode int
@@ -35,20 +37,24 @@ type Mode int
 const (
 	// ModePlain is the fault-free analytic replay (sim.Run).
 	ModePlain Mode = iota
-	// ModeChaos is the fault-injected replay (sim.RunChaos).
+	// ModeChaos is the fault-injected analytic replay.
 	ModeChaos
 	// ModeDurable is the WAL-backed 2PC replay with end-of-run crash
-	// recovery and the consistency oracle (sim.RunChaosDurable).
+	// recovery and the consistency oracle.
 	ModeDurable
-	// ModeDriftStatic replays window-by-window under a fixed solution
-	// (sim.RunDriftStatic).
+	// ModeDriftStatic replays window-by-window under a fixed solution.
 	ModeDriftStatic
 	// ModeDriftAdaptive replays with the detector-triggered adaptation
-	// loop (sim.RunDriftAdaptive). Requires Repartition.
+	// loop. Requires Repartition.
 	ModeDriftAdaptive
-	// ModeDriftOracle replays with a free scripted swap at Drift.DriftAt
-	// (sim.RunDriftOracle). Requires Repartition and Drift.DriftAt.
+	// ModeDriftOracle replays with a free scripted swap at Drift.DriftAt.
+	// Requires Repartition and Drift.DriftAt.
 	ModeDriftOracle
+	// ModeTwoPC is the network-aware durable replay: the same WAL-backed
+	// 2PC semantics as ModeDurable, but every PREPARE/COMMIT/ABORT crosses
+	// a real transport (in-proc bus or loopback TCP) with per-message
+	// timeouts, retransmission, and optional coordinator failover.
+	ModeTwoPC
 )
 
 // String names the mode.
@@ -66,6 +72,8 @@ func (m Mode) String() string {
 		return "drift-adaptive"
 	case ModeDriftOracle:
 		return "drift-oracle"
+	case ModeTwoPC:
+		return "twopc"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -91,6 +99,9 @@ type Scenario struct {
 	Chaos ChaosConfig
 	// Durable parameterizes ModeDurable.
 	Durable DurableConfig
+	// TwoPC parameterizes ModeTwoPC. Its Scenario, Seed, WALDir and
+	// Recorder fields are filled from the shared scenario fields below.
+	TwoPC twopc.Config
 	// Drift parameterizes the three drift modes.
 	Drift DriftConfig
 
@@ -118,6 +129,7 @@ type RunResult struct {
 	Chaos   *ChaosResult
 	Durable *DurableResult
 	Drift   *DriftResult
+	TwoPC   *twopc.Result
 }
 
 // String renders the selected mode's result summary.
@@ -131,6 +143,8 @@ func (r *RunResult) String() string {
 		return r.Durable.String()
 	case r.Drift != nil:
 		return r.Drift.String()
+	case r.TwoPC != nil:
+		return r.TwoPC.String()
 	default:
 		return r.Mode.String() + ": no result"
 	}
@@ -168,6 +182,9 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 	if sc.Durable.Recorder == nil {
 		sc.Durable.Recorder = sc.Recorder
 	}
+	if sc.TwoPC.Recorder == nil {
+		sc.TwoPC.Recorder = sc.Recorder
+	}
 	out := &RunResult{Mode: sc.Mode}
 	switch sc.Mode {
 	case ModePlain:
@@ -179,7 +196,7 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 		}
 		out.Plain = res
 	case ModeChaos:
-		res, err := RunChaosContext(ctx, sc.DB, sc.Solution, sc.Trace, sc.Chaos, sc.faults(), sc.Seed)
+		res, err := runChaos(ctx, sc.DB, sc.Solution, sc.Trace, sc.Chaos, sc.faults(), sc.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -188,11 +205,24 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 		if sc.WALDir == "" {
 			return nil, fmt.Errorf("sim: durable scenario without a WAL directory")
 		}
-		res, err := RunChaosDurableContext(ctx, sc.DB, sc.Solution, sc.Trace, sc.Durable, sc.faults(), sc.Seed, sc.WALDir)
+		res, err := runChaosDurable(ctx, sc.DB, sc.Solution, sc.Trace, sc.Durable, sc.faults(), sc.Seed, sc.WALDir)
 		if err != nil {
 			return nil, err
 		}
 		out.Durable = res
+	case ModeTwoPC:
+		if sc.WALDir == "" {
+			return nil, fmt.Errorf("sim: twopc scenario without a WAL directory")
+		}
+		cfg := sc.TwoPC
+		cfg.Scenario = sc.faults()
+		cfg.Seed = sc.Seed
+		cfg.WALDir = sc.WALDir
+		res, err := twopc.Run(ctx, sc.DB, sc.Solution, sc.Trace, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.TwoPC = res
 	case ModeDriftStatic:
 		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeStatic, nil)
 		if err != nil {

@@ -6,10 +6,52 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/db"
 	"repro/internal/faults"
 	"repro/internal/fixture"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
+
+// chaosScenario, durableScenario and driftScenario are the package's
+// test-side entry points: every sim test reaches the engines the way
+// callers do, through New(Scenario{...}).Run(ctx), and unwraps the
+// mode's result pointer.
+func chaosScenario(d *db.DB, sol *partition.Solution, tr *trace.Trace,
+	cfg ChaosConfig, sc *faults.Scenario, seed int64) (*ChaosResult, error) {
+	res, err := New(Scenario{
+		Mode: ModeChaos, DB: d, Solution: sol, Trace: tr,
+		Chaos: cfg, Faults: sc, Seed: seed,
+	}).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Chaos, nil
+}
+
+func durableScenario(d *db.DB, sol *partition.Solution, tr *trace.Trace,
+	cfg DurableConfig, sc *faults.Scenario, seed int64, walDir string) (*DurableResult, error) {
+	res, err := New(Scenario{
+		Mode: ModeDurable, DB: d, Solution: sol, Trace: tr,
+		Durable: cfg, Faults: sc, Seed: seed, WALDir: walDir,
+	}).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Durable, nil
+}
+
+func driftScenario(mode Mode, d *db.DB, sol *partition.Solution, tr *trace.Trace,
+	cfg DriftConfig, repart RepartitionFunc) (*DriftResult, error) {
+	res, err := New(Scenario{
+		Mode: mode, DB: d, Solution: sol, Trace: tr,
+		Drift: cfg, Repartition: repart,
+	}).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Drift, nil
+}
 
 func scenarioSolution(k int) *partition.Solution {
 	sol := partition.NewSolution("scatter", k)
@@ -28,10 +70,12 @@ func mustJSON(t *testing.T, v any) []byte {
 	return b
 }
 
-// TestScenarioMatchesLegacyEntryPoints pins the redesign's compatibility
-// contract: New(Scenario{...}).Run produces byte-identical results to the
-// deprecated mode-specific functions it replaces, for every mode.
-func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
+// TestScenarioMatchesEngines pins the dispatch contract: New(Scenario{
+// ...}).Run produces byte-identical results to calling the underlying
+// mode engine directly, for every mode — the scenario layer adds
+// wiring, never behavior. (The deprecated per-mode wrappers this test
+// once compared against are gone; the engines are the ground truth.)
+func TestScenarioMatchesEngines(t *testing.T) {
 	d := fixture.CustInfoDB()
 	tr := fixture.MixedTrace(d, 400, 2)
 	sol := scenarioSolution(2)
@@ -59,7 +103,7 @@ func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := RunChaos(d, sol, tr, ChaosConfig{}, fsc, 7)
+		want, err := runChaos(ctx, d, sol, tr, ChaosConfig{}, fsc, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +115,7 @@ func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Chaos)) {
-			t.Error("scenario chaos result diverged from sim.RunChaos")
+			t.Error("scenario chaos result diverged from the chaos engine")
 		}
 	})
 
@@ -80,7 +124,7 @@ func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := RunChaosDurable(d, sol, tr, DurableConfig{}, fsc, 7, t.TempDir())
+		want, err := runChaosDurable(ctx, d, sol, tr, DurableConfig{}, fsc, 7, t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,12 +136,12 @@ func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Durable)) {
-			t.Error("scenario durable result diverged from sim.RunChaosDurable")
+			t.Error("scenario durable result diverged from the durable engine")
 		}
 	})
 
 	t.Run("drift-static", func(t *testing.T) {
-		want, err := RunDriftStatic(d, sol, tr, DriftConfig{WindowSize: 100})
+		want, err := runDrift(ctx, d, sol, tr, DriftConfig{WindowSize: 100}, modeStatic, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +153,7 @@ func TestScenarioMatchesLegacyEntryPoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Drift)) {
-			t.Error("scenario drift-static result diverged from sim.RunDriftStatic")
+			t.Error("scenario drift-static result diverged from the drift engine")
 		}
 	})
 }

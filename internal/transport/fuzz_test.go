@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame pins the wire codec's totality: arbitrary bytes never
+// panic, every error is one of the two typed classes, and any frame that
+// decodes survives a re-encode/re-decode round trip unchanged (byte
+// equality is deliberately not asserted: uvarint tolerates non-minimal
+// encodings, so the fixed point is semantic).
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: valid frames, torn cuts, CRC flips, zero and oversized
+	// lengths — the classes the decoder must keep apart.
+	seed := func(m Msg) []byte {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		return frame
+	}
+	whole := seed(Msg{Type: 1, From: 0, To: 3, Txn: 42, Attempt: 2, Payload: []byte("prepare")})
+	f.Add(whole)
+	f.Add(whole[:3])               // torn header
+	f.Add(whole[:len(whole)-2])    // torn body
+	f.Add(append(whole, whole...)) // two frames back to back
+	f.Add(seed(Msg{Type: 255, From: 1000, To: 1001, Txn: 1<<64 - 1}))
+	crcFlip := append([]byte(nil), whole...)
+	crcFlip[9] ^= 0xFF
+	f.Add(crcFlip)
+	f.Add(make([]byte, 16))                           // zero-length frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}) // oversized length prefix
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrTornFrame) && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n < frameHeader || n > len(data) {
+			t.Fatalf("frame length %d outside [%d, %d]", n, frameHeader, len(data))
+		}
+		reenc, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v (%s)", err, m)
+		}
+		m2, n2, err := DecodeFrame(reenc)
+		if err != nil || n2 != len(reenc) {
+			t.Fatalf("re-decode failed: n=%d err=%v", n2, err)
+		}
+		if m2.Type != m.Type || m2.From != m.From || m2.To != m.To ||
+			m2.Attempt != m.Attempt || m2.Txn != m.Txn || !bytes.Equal(m2.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", m2, m)
+		}
+	})
+}

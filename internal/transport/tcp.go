@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpDialTimeout bounds a peer dial when the caller's context carries no
+// deadline of its own.
+const tcpDialTimeout = time.Second
+
+// TCPEndpoint is the out-of-process transport: one listener per node, an
+// accept loop decoding frames into the inbox, and lazily-dialed,
+// connection-cached peer links. Delivery semantics match the bus: a send
+// that cannot reach its peer (dial failure, broken pipe) drops the frame
+// after tearing down the cached connection — silence, not an error, is
+// what a dead peer looks like, and the protocol layer's Recv timeouts
+// carry the failure semantics.
+type TCPEndpoint struct {
+	id int
+	ln net.Listener
+
+	mu       sync.Mutex
+	peers    map[int]string
+	conns    map[int]net.Conn
+	accepted map[net.Conn]struct{}
+
+	inbox chan Msg
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// ListenTCP binds node id on addr ("127.0.0.1:0" picks a free loopback
+// port; Addr reports the bound address for the peer map).
+func ListenTCP(id int, addr string) (*TCPEndpoint, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("transport: negative node id %d", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e := &TCPEndpoint{
+		id:       id,
+		ln:       ln,
+		peers:    map[int]string{},
+		conns:    map[int]net.Conn{},
+		accepted: map[net.Conn]struct{}{},
+		inbox:    make(chan Msg, busInboxCap),
+		done:     make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the bound listen address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// SetPeers installs the node-id→address book used to dial destinations.
+func (e *TCPEndpoint) SetPeers(peers map[int]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers = make(map[int]string, len(peers))
+	for id, addr := range peers {
+		e.peers[id] = addr
+	}
+}
+
+func (e *TCPEndpoint) ID() int { return e.id }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cTCPAccepts.Inc()
+		e.mu.Lock()
+		e.accepted[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+// readLoop decodes frames off one inbound connection until error or
+// shutdown. Bad frames poison the connection (framing is lost), torn
+// reads just mean the stream ended mid-frame.
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+		c.Close()
+	}()
+	header := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(c, header); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		if n == 0 || n > MaxFrameSize {
+			return
+		}
+		frame := make([]byte, frameHeader+int(n))
+		copy(frame, header)
+		if _, err := io.ReadFull(c, frame[frameHeader:]); err != nil {
+			return
+		}
+		m, _, err := DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		select {
+		case <-e.done:
+			return
+		case e.inbox <- m:
+			cMsgsDelivered.Inc()
+		default:
+			cMsgsDropped.Inc() // inbox full: congestion loss
+		}
+	}
+}
+
+// conn returns a cached or freshly-dialed connection to node `to`.
+func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
+	e.mu.Lock()
+	c := e.conns[to]
+	addr, known := e.peers[to]
+	e.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if !known {
+		return nil, fmt.Errorf("transport: node %d has no address for peer %d", e.id, to)
+	}
+	d := net.Dialer{Timeout: tcpDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cTCPDials.Inc()
+	e.mu.Lock()
+	if old := e.conns[to]; old != nil {
+		// Lost the dial race; keep the established one.
+		e.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	return c, nil
+}
+
+// dropConn forgets (and closes) the cached connection to node `to`.
+func (e *TCPEndpoint) dropConn(to int, c net.Conn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+// Send frames m and writes it to the peer connection. An unreachable or
+// dead peer drops the frame silently (after discarding the cached
+// connection) — matching the bus: failures surface as peer silence.
+func (e *TCPEndpoint) Send(ctx context.Context, m Msg) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	frame, err := AppendFrame(nil, m)
+	if err != nil {
+		return err
+	}
+	cMsgsSent.Inc()
+	cBytesSent.Add(int64(len(frame)))
+	c, err := e.conn(ctx, m.To)
+	if err != nil {
+		cMsgsDropped.Inc()
+		return nil
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.SetWriteDeadline(dl)
+	} else {
+		c.SetWriteDeadline(time.Now().Add(tcpDialTimeout))
+	}
+	if _, err := c.Write(frame); err != nil {
+		e.dropConn(m.To, c)
+		cMsgsDropped.Inc()
+		return nil
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) Recv(ctx context.Context) (Msg, error) {
+	select {
+	case <-e.done:
+		// Checked before draining: frames buffered across Close must not
+		// resurrect a closed endpoint.
+		return Msg{}, ErrClosed
+	default:
+	}
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	case <-ctx.Done():
+		cRecvTimeouts.Inc()
+		return Msg{}, ctx.Err()
+	case <-e.done:
+		return Msg{}, ErrClosed
+	}
+}
+
+// Close stops the listener, closes every connection, and waits for the
+// reader goroutines to drain.
+func (e *TCPEndpoint) Close() error {
+	var err error
+	e.once.Do(func() {
+		close(e.done)
+		err = e.ln.Close()
+		e.mu.Lock()
+		for to, c := range e.conns {
+			c.Close()
+			delete(e.conns, to)
+		}
+		// Accepted connections block their readers in ReadFull until the
+		// peer hangs up; close them too or Wait never returns.
+		for c := range e.accepted {
+			c.Close()
+		}
+		e.mu.Unlock()
+		e.wg.Wait()
+	})
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
