@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc fuzz clean
+.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc repl fuzz clean
 
 all: build
 
@@ -85,6 +85,22 @@ twopc:
 		-chaos-scenario coord-crash -wal-dir /tmp/jecb-twopc-b -transport bus -standby \
 		-flight-dump /tmp/jecb-twopc-b/flight.json
 	cmp /tmp/jecb-twopc-a/flight.json /tmp/jecb-twopc-b/flight.json
+
+# repl runs the replication experiment table (replica groups under every
+# crash scenario, async vs quorum commit rules — the quorum rows must
+# lose zero acknowledged commits), then checks the determinism contract:
+# two same-seed replicated pipeline runs with a primary crash and a
+# promotion must write byte-identical flight-recorder dumps.
+repl:
+	$(GO) run ./cmd/experiments -run replication -quick
+	rm -rf /tmp/jecb-repl-a /tmp/jecb-repl-b
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 1500 -chaos -chaos-seed 1 \
+		-chaos-scenario single-crash -wal-dir /tmp/jecb-repl-a -replicate -commit-rule quorum \
+		-flight-dump /tmp/jecb-repl-a/flight.json
+	$(GO) run ./cmd/jecb -benchmark synthetic -k 4 -txns 1500 -chaos -chaos-seed 1 \
+		-chaos-scenario single-crash -wal-dir /tmp/jecb-repl-b -replicate -commit-rule quorum \
+		-flight-dump /tmp/jecb-repl-b/flight.json
+	cmp /tmp/jecb-repl-a/flight.json /tmp/jecb-repl-b/flight.json
 
 # fuzz gives each fuzz target a short exploration budget beyond the seed
 # corpora that already run in the normal test pass.

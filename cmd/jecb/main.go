@@ -41,6 +41,20 @@
 //	-standby       with -transport: run a backup coordinator that takes
 //	               over after a coordinator-partition crash
 //
+// Replication flags (replica groups with WAL shipping and promotion):
+//
+//	-replicate          with -chaos and -wal-dir: replay through replica
+//	                    groups — every partition becomes one primary plus
+//	                    -replicas WAL-backed backups; the primary ships its
+//	                    log over the transport and a heartbeat failure
+//	                    detector promotes the most-caught-up backup when
+//	                    the primary crashes
+//	-replicas 2         backups per partition group
+//	-commit-rule async  async acknowledges at primary durability (a crash
+//	                    can destroy acknowledged commits); quorum waits for
+//	                    a majority of group members and loses nothing under
+//	                    any single crash
+//
 // Drift flags (workload-drift adaptation replay; synthetic benchmark only):
 //
 //	-drift mix-flip      replay a drift scenario (mix-flip, skew-rotate,
@@ -69,6 +83,7 @@ import (
 	"repro/internal/horticulture"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/repl"
 	"repro/internal/router"
 	"repro/internal/schism"
 	"repro/internal/sim"
@@ -96,6 +111,12 @@ type chaosOpts struct {
 	transport string
 	// standby enables the backup coordinator under -transport.
 	standby bool
+	// replicate switches the durable replay to replica groups: every
+	// partition becomes one primary plus `replicas` WAL-backed backups
+	// with log shipping, failure detection and automatic promotion.
+	replicate  bool
+	replicas   int
+	commitRule string
 }
 
 // driftOpts bundles the workload-drift flags.
@@ -134,6 +155,9 @@ func main() {
 		recoverRun    = flag.Bool("recover", false, "recover the partition logs in -wal-dir against the benchmark schema and exit")
 		transportName = flag.String("transport", "", "with -chaos and -wal-dir: run the durable replay over a real wire (bus = in-proc chaos bus, tcp = loopback sockets) instead of the in-process engine")
 		standby       = flag.Bool("standby", false, "with -transport: enable the backup coordinator (lease-based failover after a coordinator-partition crash)")
+		replicate     = flag.Bool("replicate", false, "with -chaos and -wal-dir: replay through replica groups (one primary + -replicas backups per partition, WAL shipping over the transport, automatic promotion on primary crash)")
+		replicas      = flag.Int("replicas", 2, "with -replicate: backups per partition group")
+		commitRule    = flag.String("commit-rule", "async", "with -replicate: when a commit is acknowledged (async = at primary durability, quorum = after a majority of group members are durable)")
 
 		driftScenario = flag.String("drift", "", "drift scenario to replay with the adaptation loop ("+strings.Join(drift.BuiltinNames(), ", ")+"); synthetic benchmark only")
 		driftBudget   = flag.Int("drift-budget", 1500, "total moved-tuple budget for drift migrations (<=0 = unbounded)")
@@ -145,7 +169,8 @@ func main() {
 	flag.Parse()
 
 	co := chaosOpts{enabled: *chaos, seed: *chaosSeed, scenario: *chaosScenario,
-		walDir: *walDir, recover: *recoverRun, transport: *transportName, standby: *standby}
+		walDir: *walDir, recover: *recoverRun, transport: *transportName, standby: *standby,
+		replicate: *replicate, replicas: *replicas, commitRule: *commitRule}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
 	fo := flightOpts{dump: *flightDump, cap: *flightCap}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
@@ -459,7 +484,21 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 		Mode: sim.ModeDurable, DB: d, Solution: sol, Trace: test,
 		Faults: sc, Seed: co.seed, WALDir: co.walDir,
 	}
-	if co.transport != "" {
+	if co.replicate {
+		// The replica-group engine: every partition is one primary plus
+		// co.replicas WAL-backed backups; the primary ships its log over
+		// the wire and a failure detector promotes the most-caught-up
+		// backup when the primary crashes.
+		scenario.Mode = sim.ModeReplicated
+		scenario.Repl = repl.Config{Transport: co.transport,
+			Replicas: co.replicas, CommitRule: co.commitRule}
+		tname := co.transport
+		if tname == "" {
+			tname = "bus"
+		}
+		fmt.Printf("replicated: scenario %q, seed %d, wal-dir %s, transport %s, replicas %d, rule %s\n",
+			sc.Name, co.seed, co.walDir, tname, co.replicas, co.commitRule)
+	} else if co.transport != "" {
 		// The networked engine: same WAL-backed 2PC semantics, but every
 		// prepare/decision crosses a real transport with retransmission.
 		scenario.Mode = sim.ModeTwoPC
@@ -475,10 +514,14 @@ func chaosStage(ctx context.Context, d *db.DB, sol *partition.Solution, test *tr
 	}
 	var report interface{ String() string }
 	oracleOK := true
-	if drun.Durable != nil {
+	switch {
+	case drun.Durable != nil:
 		report = drun.Durable
 		oracleOK = drun.Durable.OracleOK
-	} else {
+	case drun.Repl != nil:
+		report = drun.Repl
+		oracleOK = drun.Repl.OracleOK
+	default:
 		report = drun.TwoPC
 		oracleOK = drun.TwoPC.OracleOK
 	}

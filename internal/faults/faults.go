@@ -81,9 +81,34 @@ const (
 	PhaseAfterDecision = "after-decision"
 )
 
+// The replication crash-point phases (see DESIGN.md, "Replication").
+// They name instants inside a replica group's shipping protocol and only
+// have meaning where replica groups execute (sim.ModeReplicated); the
+// durable and networked 2PC replays ignore them the same way the
+// analytic replay ignores every crash point:
+//
+//	primary-mid-ship    the group's primary crashes after durably logging
+//	                    a commit and shipping it to at most one backup:
+//	                    the failure detector promotes the most-caught-up
+//	                    live backup, and whether the commit survives is
+//	                    exactly the commit rule's promise (quorum: yes;
+//	                    async: only if the partial ship reached the
+//	                    winner).
+//	backup-mid-catchup  a backup crashes after applying only half of a
+//	                    shipped record batch, without acknowledging it:
+//	                    its log is a strict prefix of the chain, and
+//	                    rejoin resumes shipping from its durable
+//	                    watermark (or installs a snapshot when it fell
+//	                    past the snapshot threshold).
+const (
+	PhasePrimaryMidShip   = "primary-mid-ship"
+	PhaseBackupMidCatchup = "backup-mid-catchup"
+)
+
 // CrashPhases lists the valid crash-point phases.
 func CrashPhases() []string {
-	return []string{PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision}
+	return []string{PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision,
+		PhasePrimaryMidShip, PhaseBackupMidCatchup}
 }
 
 // CrashPoint scripts one mid-2PC node crash in the durable replay. The
@@ -102,7 +127,8 @@ type CrashPoint struct {
 // validPhase reports whether the phase names a defined crash point.
 func validPhase(p string) bool {
 	switch p {
-	case PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision:
+	case PhaseBeforePrepare, PhaseBeforeCommit, PhaseAfterDecision,
+		PhasePrimaryMidShip, PhaseBackupMidCatchup:
 		return true
 	default:
 		return false
@@ -201,7 +227,8 @@ func (sc *Scenario) String() string {
 // BuiltinNames lists the scenarios Builtin understands, sorted.
 func BuiltinNames() []string {
 	out := []string{"none", "single-crash", "rolling", "flaky-network", "half-down",
-		"part-crash", "prep-crash", "coord-crash"}
+		"part-crash", "prep-crash", "coord-crash",
+		"primary-crash-mid-ship", "backup-crash-mid-catchup"}
 	sort.Strings(out)
 	return out
 }
@@ -219,6 +246,12 @@ func BuiltinNames() []string {
 //	              before logging the decision (everyone in doubt → abort)
 //	coord-crash   the coordinator dies after durably logging COMMIT but
 //	              before the participants commit (in doubt → replayed)
+//	primary-crash-mid-ship    (replicated replay only) partition 0's
+//	              primary dies on its 3rd local commit after shipping it
+//	              to at most one backup — the promotion-window crash
+//	backup-crash-mid-catchup  (replicated replay only) a backup of
+//	              partition 0 dies halfway through a shipped batch and
+//	              rejoins by anti-entropy
 func Builtin(name string, k int) (*Scenario, error) {
 	if k <= 0 {
 		return nil, scenarioErrorf("builtin %q: k=%d", name, k)
@@ -253,6 +286,14 @@ func Builtin(name string, k int) (*Scenario, error) {
 		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhaseBeforeCommit, Seq: 10}}
 	case "coord-crash":
 		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhaseAfterDecision, Seq: 10}}
+	case "primary-crash-mid-ship":
+		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhasePrimaryMidShip, Seq: 3}}
+	case "backup-crash-mid-catchup":
+		// The flaky wire forces in-round resends; the crash fires halfway
+		// through a shipped batch, leaving an unacknowledged half-applied
+		// durable prefix.
+		sc.MsgLossProb = 0.05
+		sc.CrashPoints = []CrashPoint{{Node: 0, Phase: PhaseBackupMidCatchup, Seq: 2}}
 	default:
 		return nil, scenarioErrorf("unknown builtin %q (have: %v)", name, BuiltinNames())
 	}

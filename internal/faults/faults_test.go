@@ -326,16 +326,18 @@ func TestCrashPointValidation(t *testing.T) {
 	if err := ok.Validate(4); err != nil {
 		t.Errorf("valid crash points rejected: %v", err)
 	}
-	if got := CrashPhases(); len(got) != 3 {
+	if got := CrashPhases(); len(got) != 5 {
 		t.Errorf("CrashPhases = %v", got)
 	}
 }
 
 func TestCrashBuiltinsScriptPoints(t *testing.T) {
 	for name, phase := range map[string]string{
-		"part-crash":  PhaseBeforePrepare,
-		"prep-crash":  PhaseBeforeCommit,
-		"coord-crash": PhaseAfterDecision,
+		"part-crash":               PhaseBeforePrepare,
+		"prep-crash":               PhaseBeforeCommit,
+		"coord-crash":              PhaseAfterDecision,
+		"primary-crash-mid-ship":   PhasePrimaryMidShip,
+		"backup-crash-mid-catchup": PhaseBackupMidCatchup,
 	} {
 		sc, err := Builtin(name, 4)
 		if err != nil {

@@ -86,6 +86,19 @@ const (
 	// EvRecover marks crash recovery of partition Node; Arg is the
 	// number of replayed commits.
 	EvRecover
+	// EvShip marks a WAL-shipping batch sent to replica member Node;
+	// Arg packs recordCount<<16 | baseSeq&0xffff.
+	EvShip
+	// EvReplAck marks a durable replication ack from replica member
+	// Node; Arg is the acknowledged log sequence.
+	EvReplAck
+	// EvPromote marks a replica-group promotion: Node is the promoted
+	// member, Arg packs watermark<<8 | partition.
+	EvPromote
+	// EvCatchup marks an anti-entropy catch-up of replica member Node;
+	// Arg is the number of records (or, for a snapshot install, the
+	// negated base sequence).
+	EvCatchup
 )
 
 // String names the kind for dumps.
@@ -117,6 +130,14 @@ func (k EventKind) String() string {
 		return "crash"
 	case EvRecover:
 		return "recover"
+	case EvShip:
+		return "ship"
+	case EvReplAck:
+		return "repl-ack"
+	case EvPromote:
+		return "promote"
+	case EvCatchup:
+		return "catchup"
 	default:
 		return fmt.Sprintf("ev(%d)", uint8(k))
 	}

@@ -190,6 +190,7 @@ func TestEventKindStrings(t *testing.T) {
 	kinds := []EventKind{
 		EvBegin, EvRoute, EvRouteDenied, EvFault, EvBackoff, EvPrepare,
 		EvCommit, EvAbort, EvGiveUp, EvWALAppend, EvCheckpoint, EvCrash, EvRecover,
+		EvShip, EvReplAck, EvPromote, EvCatchup,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

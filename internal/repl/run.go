@@ -1,0 +1,782 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+var (
+	cRuns       = obs.Default.Counter("repl.runs")
+	cCommits    = obs.Default.Counter("repl.committed")
+	cOracleFail = obs.Default.Counter("repl.oracle_failures")
+)
+
+// removeGroupLogs clears a prior run's member logs from dir (the
+// partition-%03d.wal namespace is left alone — see MemberLogPath).
+func removeGroupLogs(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "group-*.wal"))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildHarness wires k replica groups (each N=R+1 member endpoints), the
+// driver, and one detector endpoint per group over the configured
+// transport, chaos-wrapped per scenario.
+func buildHarness(d *db.DB, sol *partition.Solution, cfg Config, a *eval.Assigner, inj *faults.Injector, res *Result) (*harness, error) {
+	k := sol.K
+	nEp := k*(cfg.Replicas+1) + 1 + k
+	h := &harness{
+		cfg:      cfg,
+		k:        k,
+		sc:       cfg.Scenario,
+		a:        a,
+		inj:      inj,
+		rec:      cfg.Recorder,
+		eps:      make([]transport.Transport, nEp),
+		driverID: k * (cfg.Replicas + 1),
+		res:      res,
+		wg:       &sync.WaitGroup{},
+	}
+	pol := transport.FaultPolicy{
+		Seed:       cfg.Seed,
+		LossProb:   cfg.Scenario.MsgLossProb,
+		SpikeProb:  cfg.Scenario.LatencySpikeProb,
+		SpikeDelay: cfg.SpikeDelay,
+		Exempt:     exemptType,
+	}
+	switch cfg.Transport {
+	case "bus":
+		h.bus = transport.NewBus()
+		for id := 0; id < nEp; id++ {
+			ep, err := h.bus.Endpoint(id)
+			if err != nil {
+				return nil, err
+			}
+			h.eps[id] = transport.WithChaos(ep, pol)
+		}
+	case "tcp":
+		tcps := make([]*transport.TCPEndpoint, nEp)
+		peers := make(map[int]string, nEp)
+		for id := 0; id < nEp; id++ {
+			ep, err := transport.ListenTCP(id, "127.0.0.1:0")
+			if err != nil {
+				h.closeEndpoints()
+				return nil, err
+			}
+			tcps[id] = ep
+			h.eps[id] = transport.WithChaos(ep, pol)
+			peers[id] = ep.Addr()
+		}
+		for _, ep := range tcps {
+			ep.SetPeers(peers)
+		}
+	default:
+		return nil, fmt.Errorf("repl: unknown transport %q", cfg.Transport)
+	}
+
+	h.groups = make([]*group, k)
+	for g := 0; g < k; g++ {
+		log, err := wal.Create(MemberLogPath(cfg.WALDir, g, 0))
+		if err != nil {
+			h.closeEndpoints()
+			return nil, err
+		}
+		grp := &group{
+			id: g,
+			pr: &primary{
+				group:  g,
+				member: 0,
+				log:    log,
+				app:    wal.NewApplier(d.Schema()),
+				acked:  make(map[int]int64, cfg.Replicas),
+			},
+			members:  make(map[int]*backup, cfg.Replicas),
+			dead:     map[int]bool{},
+			diverged: map[int]bool{},
+		}
+		for m := 1; m <= cfg.Replicas; m++ {
+			b, err := newBackup(g, m, cfg.Replicas, d.Schema(), cfg.WALDir, h.eps[memberID(g, m, cfg.Replicas)])
+			if err != nil {
+				h.closeEndpoints()
+				return nil, err
+			}
+			grp.members[m] = b
+			grp.pr.acked[m] = 0
+		}
+		h.groups[g] = grp
+	}
+	h.det = make([]*detector, k)
+	h.alive = make([]atomic.Bool, k)
+	return h, nil
+}
+
+func (h *harness) closeEndpoints() {
+	for _, ep := range h.eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+}
+
+func (h *harness) primID(g int) int {
+	return memberID(g, h.groups[g].pr.member, h.cfg.Replicas)
+}
+
+// armMidBatch arms a live backup of group g for the mid-catchup crash:
+// it will die halfway through applying its next multi-record ship batch,
+// leaving a half-applied durable prefix. A member already behind the
+// chain head is preferred (its next batch is a genuine catch-up), else
+// the lowest live member (whose batch is the current round's records).
+func (h *harness) armMidBatch(g int) bool {
+	grp := h.groups[g]
+	live := grp.liveBackups()
+	for _, m := range live {
+		if grp.pr.acked[m] < grp.pr.seq {
+			grp.members[m].crashArm.Store(armMidCatchup)
+			return true
+		}
+	}
+	if len(live) == 0 {
+		return false
+	}
+	grp.members[live[0]].crashArm.Store(armMidCatchup)
+	return true
+}
+
+// trackLag folds a group's live-backup lags into MaxLag.
+func (h *harness) trackLag(g int) {
+	grp := h.groups[g]
+	for _, m := range grp.liveBackups() {
+		if l := grp.pr.lag(m); l > h.res.MaxLag {
+			h.res.MaxLag = l
+		}
+	}
+}
+
+// replicaRead accounts one fully-replicated or read-only round against
+// group g's backups: within the staleness budget the read is served from
+// the least-lagged backup, otherwise it falls back to the primary.
+func (h *harness) replicaRead(g int) {
+	grp := h.groups[g]
+	minLag := int64(-1)
+	for _, m := range grp.liveBackups() {
+		if l := grp.pr.lag(m); minLag < 0 || l < minLag {
+			minLag = l
+		}
+	}
+	if minLag >= 0 && minLag <= h.cfg.StalenessBudget {
+		h.res.ReplicaReads++
+		cReplicaReads.Inc()
+	} else {
+		h.res.StaleReadsAvoided++
+		cStaleAvoided.Inc()
+	}
+}
+
+// shipRule runs the configured commit rule's ship for every involved
+// group at its current chain head.
+func (h *harness) shipRule(ctx context.Context, involved []int, traceID uint64, vt float64) {
+	for _, g := range involved {
+		target := h.groups[g].pr.seq
+		if h.cfg.CommitRule == RuleQuorum {
+			h.quorumShip(ctx, g, target, traceID, vt)
+		} else {
+			h.shipAsync(ctx, g, target, traceID, vt)
+		}
+		h.trackLag(g)
+	}
+}
+
+// abortStaged appends the abort decision on every staged group and ships
+// it opportunistically so backup appliers drop the staged writes.
+func (h *harness) abortStaged(ctx context.Context, staged []int, txn uint64, traceID uint64, vt float64) error {
+	for _, g := range staged {
+		if err := h.groups[g].pr.append(wal.RecAbort, txn, nil); err != nil {
+			return err
+		}
+		h.shipAsync(ctx, g, h.groups[g].pr.seq, traceID, vt)
+	}
+	return nil
+}
+
+// crashFire realizes a primary crash point on group g: the chain dies
+// as-is (the caller already tore a tail record if the phase calls for
+// one), the group promotes, and the journal loses the unreplicated
+// suffix.
+func (h *harness) crashFire(ctx context.Context, g int, phase string, traceID uint64, attempt int, vt float64) error {
+	h.rec.Record(traceID, obs.EvCrash, h.primID(g), attempt, vt, crashPhaseCode(phase))
+	if !contains(h.res.CrashedGroups, g) {
+		h.res.CrashedGroups = append(h.res.CrashedGroups, g)
+	}
+	h.killPrimary(g)
+	return h.promoteGroup(ctx, g, traceID, vt)
+}
+
+// writeRound executes one write transaction attempt against the groups'
+// primaries: single-group rounds append begin/writes/commit on one chain;
+// distributed rounds run an in-process 2PC across the group primaries
+// (prepare on participants, decision on the coordinator, commit on
+// participants). The configured commit rule then ships. A scripted crash
+// point may kill a primary mid-protocol; the group promotes and the
+// round's fate follows the rule.
+func (h *harness) writeRound(ctx context.Context, txn, traceID uint64, attempt int, now float64,
+	coord int, writeParts []int, opsAt map[int][]db.Op, distributed bool, fire *cpState) (bool, error) {
+
+	// The involved groups: every write participant plus the coordinator
+	// (whose chain carries the decision even when it stages no writes).
+	involved := writeParts
+	if distributed && !contains(involved, coord) {
+		involved = append(append([]int(nil), writeParts...), coord)
+		sort.Ints(involved)
+	}
+	if fire != nil && fire.cp.Phase == faults.PhaseBackupMidCatchup {
+		if !h.armMidBatch(fire.cp.Node) {
+			fire.fired = false // no live backup: the point cannot realize yet
+		}
+	}
+
+	if !distributed {
+		g := writeParts[0]
+		pr := h.groups[g].pr
+		if err := pr.append(wal.RecBegin, txn, nil); err != nil {
+			return false, err
+		}
+		for _, op := range opsAt[g] {
+			if err := pr.append(wal.RecWrite, txn, op.Encode(nil)); err != nil {
+				return false, err
+			}
+		}
+		if fire != nil && fire.cp.Phase == faults.PhasePrimaryMidShip && fire.cp.Node == g {
+			// The primary commits locally and dies before shipping a single
+			// record of the round.
+			if err := pr.append(wal.RecCommit, txn, nil); err != nil {
+				return false, err
+			}
+			acked := h.cfg.CommitRule == RuleAsync
+			if acked {
+				h.journal = append(h.journal, journalEntry{
+					ops:  flattenOps(writeParts, opsAt),
+					seqs: map[int]int64{g: pr.seq},
+				})
+			}
+			if err := h.crashFire(ctx, g, fire.cp.Phase, traceID, attempt, now); err != nil {
+				return false, err
+			}
+			return acked, nil
+		}
+		if err := pr.append(wal.RecCommit, txn, nil); err != nil {
+			return false, err
+		}
+		h.journal = append(h.journal, journalEntry{
+			ops:  flattenOps(writeParts, opsAt),
+			seqs: map[int]int64{g: pr.seq},
+		})
+		h.shipRule(ctx, involved, traceID, now)
+		return true, nil
+	}
+
+	// Distributed: prepare phase on participants (ascending, coordinator
+	// last with the decision).
+	var staged []int
+	for _, p := range writeParts {
+		if p == coord {
+			continue
+		}
+		pr := h.groups[p].pr
+		if err := pr.append(wal.RecBegin, txn, nil); err != nil {
+			return false, err
+		}
+		for _, op := range opsAt[p] {
+			if err := pr.append(wal.RecWrite, txn, op.Encode(nil)); err != nil {
+				return false, err
+			}
+		}
+		if fire != nil && fire.cp.Phase == faults.PhaseBeforePrepare && fire.cp.Node == p {
+			// The participant's primary dies with a torn prepare: the round
+			// aborts, and the dead chain's staged suffix dies with it.
+			if err := pr.appendTorn(wal.RecPrepare, txn, coordPayload(coord), 3); err != nil {
+				return false, err
+			}
+			if err := h.crashFire(ctx, p, fire.cp.Phase, traceID, attempt, now); err != nil {
+				return false, err
+			}
+			if err := h.abortStaged(ctx, staged, txn, traceID, now); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+		if err := pr.append(wal.RecPrepare, txn, coordPayload(coord)); err != nil {
+			return false, err
+		}
+		h.rec.Record(traceID, obs.EvPrepare, h.primID(p), attempt, now, 0)
+		staged = append(staged, p)
+	}
+
+	// Decision on the coordinator's chain.
+	cpr := h.groups[coord].pr
+	if err := cpr.append(wal.RecBegin, txn, nil); err != nil {
+		return false, err
+	}
+	for _, op := range opsAt[coord] {
+		if err := cpr.append(wal.RecWrite, txn, op.Encode(nil)); err != nil {
+			return false, err
+		}
+	}
+	if fire != nil && fire.cp.Phase == faults.PhaseBeforeCommit && fire.cp.Node == coord {
+		if err := cpr.appendTorn(wal.RecCommit, txn, nil, 5); err != nil {
+			return false, err
+		}
+		if err := h.crashFire(ctx, coord, fire.cp.Phase, traceID, attempt, now); err != nil {
+			return false, err
+		}
+		if err := h.abortStaged(ctx, staged, txn, traceID, now); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if err := cpr.append(wal.RecCommit, txn, nil); err != nil {
+		return false, err
+	}
+	seqs := map[int]int64{coord: cpr.seq}
+	if fire != nil && fire.cp.Phase == faults.PhaseAfterDecision && fire.cp.Node == coord {
+		// The decision is durable on the coordinator's chain — and dies
+		// with it: the promoted backup never saw it, so the suffix is
+		// discarded Raft-style. Under async the client was already
+		// acknowledged (a lost commit); under quorum the acknowledgment
+		// never went out and the retry reruns the transaction cleanly.
+		acked := h.cfg.CommitRule == RuleAsync
+		if acked {
+			h.journal = append(h.journal, journalEntry{
+				ops:  flattenOps(writeParts, opsAt),
+				seqs: seqs,
+			})
+		}
+		if err := h.crashFire(ctx, coord, fire.cp.Phase, traceID, attempt, now); err != nil {
+			return false, err
+		}
+		if err := h.abortStaged(ctx, staged, txn, traceID, now); err != nil {
+			return false, err
+		}
+		return acked, nil
+	}
+
+	// Commit on the participants, then the rule's ship.
+	for _, p := range staged {
+		if err := h.groups[p].pr.append(wal.RecCommit, txn, nil); err != nil {
+			return false, err
+		}
+		seqs[p] = h.groups[p].pr.seq
+	}
+	h.journal = append(h.journal, journalEntry{ops: flattenOps(writeParts, opsAt), seqs: seqs})
+	h.shipRule(ctx, involved, traceID, now)
+	return true, nil
+}
+
+// Run replays the trace through the replica-group engine: per-partition
+// primaries shipping WAL records to backup servers over a real transport,
+// a configurable commit rule (async or quorum-ack), scripted crash points
+// and windows realized as primary deaths with lease-lapse promotion of
+// the most-caught-up backup, anti-entropy rejoin — then the end-of-run
+// drain, the full-cluster crash, per-member WAL recovery, and the
+// consistency oracle over every member of every group.
+func Run(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Result, error) {
+	_, span := obs.StartSpan(ctx, "repl/run")
+	defer span.End()
+
+	cfg = cfg.withDefaults(tr.Len())
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("repl: nil scenario")
+	}
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("repl: WALDir required")
+	}
+	if cfg.CommitRule != RuleAsync && cfg.CommitRule != RuleQuorum {
+		return nil, fmt.Errorf("repl: unknown commit rule %q", cfg.CommitRule)
+	}
+	a, err := eval.NewAssigner(d, sol)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(cfg.Scenario, sol.K, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := removeGroupLogs(cfg.WALDir); err != nil {
+		return nil, err
+	}
+
+	k := sol.K
+	res := &Result{
+		Scenario:   cfg.Scenario.Name,
+		Seed:       cfg.Seed,
+		Groups:     k,
+		Replicas:   cfg.Replicas,
+		CommitRule: cfg.CommitRule,
+		Transport:  cfg.Transport,
+		Offered:    tr.Len(),
+	}
+	h, err := buildHarness(d, sol, cfg, a, inj, res)
+	if err != nil {
+		return nil, err
+	}
+	defer h.closeEndpoints()
+
+	// Server goroutines: every backup serves, every group gets a leased
+	// detector, and one ticker heartbeats each live group's lease.
+	srvCtx, stopServers := context.WithCancel(context.Background())
+	defer stopServers()
+	h.srvCtx = srvCtx
+	for _, grp := range h.groups {
+		for _, m := range grp.liveBackups() {
+			b := grp.members[m]
+			h.wg.Add(1)
+			go func(b *backup) {
+				defer h.wg.Done()
+				b.serve(srvCtx)
+			}(b)
+		}
+	}
+	for g := 0; g < k; g++ {
+		h.det[g] = h.newDetectorFor(g)
+		h.alive[g].Store(true)
+		h.wg.Add(1)
+		go func(dt *detector) {
+			defer h.wg.Done()
+			dt.run(srvCtx)
+		}(h.det[g])
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		tick := time.NewTicker(cfg.HeartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-srvCtx.Done():
+				return
+			case <-tick.C:
+				for g := 0; g < k; g++ {
+					if h.alive[g].Load() {
+						_ = h.eps[h.driverID].Send(srvCtx, transport.Msg{
+							Type: MsgReplHeartbeat, From: h.driverID, To: h.detID(g),
+						})
+					}
+				}
+			}
+		}
+	}()
+
+	sc := cfg.Scenario
+	rec := cfg.Recorder
+	var allLat obs.HDR
+
+	cps := make([]cpState, len(sc.CrashPoints))
+	for i, cp := range sc.CrashPoints {
+		cps[i] = cpState{cp: cp}
+	}
+	windowDown := make([]bool, k)
+
+	// applyWindows reinterprets scripted crash windows for replica
+	// groups: a window opening over group g kills its current primary
+	// (the failure detector promotes a backup — the group stays
+	// available); the window closing rejoins the dead member.
+	applyWindows := func(now float64, traceID uint64) error {
+		for g := 0; g < k; g++ {
+			downNow := inj.Down(g, now)
+			if downNow && !windowDown[g] {
+				windowDown[g] = true
+				if err := h.crashFire(srvCtx, g, "", traceID, 0, now); err != nil {
+					return err
+				}
+			} else if !downNow && windowDown[g] {
+				windowDown[g] = false
+				grp := h.groups[g]
+				deadSlots := make([]int, 0, len(grp.dead))
+				for m := range grp.dead {
+					deadSlots = append(deadSlots, m)
+				}
+				sort.Ints(deadSlots)
+				for _, m := range deadSlots {
+					if err := h.rejoinMember(srvCtx, g, m, now); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	var nextTxn uint64
+	for i := range tr.Txns {
+		t := &tr.Txns[i]
+		arrival := float64(i) / cfg.ArrivalRateTPS
+		nodes, coord, distributed := participants(a, t, k, i)
+		traceID := obs.TxnID(cfg.Seed, i)
+		rec.Record(traceID, obs.EvBegin, -1, 0, arrival, int64(len(nodes)))
+		dist := int64(0)
+		if distributed {
+			dist = 1
+		}
+		rec.Record(traceID, obs.EvRoute, coord, 0, arrival, int64(len(nodes))<<8|dist)
+
+		now := arrival
+		committed := false
+		for attempt := 1; attempt <= cfg.Retry.MaxAttempts; attempt++ {
+			now += inj.SampleLatency()
+			if err := applyWindows(now, traceID); err != nil {
+				return nil, err
+			}
+			execCoord := coord
+			if len(nodes) == 0 {
+				execCoord = i % k
+			}
+			writeParts, opsAt := writeEffects(a, t, k, execCoord)
+
+			if len(writeParts) == 0 {
+				// Read-only (or fully-replicated read): no wire round — the
+				// read is served by the coordinator group, from a backup
+				// when one is inside the staleness budget.
+				h.replicaRead(execCoord)
+				committed = true
+				res.Committed++
+				if distributed {
+					res.Distributed++
+				} else {
+					res.Local++
+				}
+				if now > res.MakespanSec {
+					res.MakespanSec = now
+				}
+			} else {
+				// Crash points fire on rounds where they qualify.
+				var fire *cpState
+				for idx := range cps {
+					s := &cps[idx]
+					if s.fired {
+						continue
+					}
+					qualifies := false
+					switch s.cp.Phase {
+					case faults.PhaseBeforePrepare:
+						qualifies = distributed && s.cp.Node != execCoord && contains(writeParts, s.cp.Node)
+					case faults.PhaseBeforeCommit, faults.PhaseAfterDecision:
+						qualifies = distributed && s.cp.Node == execCoord
+					case faults.PhasePrimaryMidShip:
+						qualifies = !distributed && writeParts[0] == s.cp.Node
+					case faults.PhaseBackupMidCatchup:
+						qualifies = contains(writeParts, s.cp.Node) &&
+							len(h.groups[s.cp.Node].liveBackups()) > 0
+					}
+					if !qualifies {
+						continue
+					}
+					s.count++
+					if fire == nil && s.count >= s.cp.Seq {
+						s.fired = true
+						fire = s
+					}
+				}
+
+				nextTxn++
+				ok, err := h.writeRound(srvCtx, nextTxn, traceID, attempt, now,
+					execCoord, writeParts, opsAt, distributed, fire)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					committed = true
+					res.Committed++
+					if distributed {
+						res.Distributed++
+					} else {
+						res.Local++
+					}
+					if now > res.MakespanSec {
+						res.MakespanSec = now
+					}
+				}
+			}
+
+			if committed {
+				latency := now - arrival
+				allLat.Observe(int64(latency * 1e9))
+				rec.Record(traceID, obs.EvCommit, execCoord, attempt, now, int64(latency*1e9))
+				break
+			}
+			res.Aborts++
+			rec.Record(traceID, obs.EvAbort, execCoord, attempt, now, 0)
+			if attempt == cfg.Retry.MaxAttempts {
+				break
+			}
+			res.Retries++
+			backoff := cfg.Retry.Backoff(attempt, inj)
+			rec.Record(traceID, obs.EvBackoff, -1, attempt, now, int64(backoff*1e9))
+			now += backoff
+		}
+		if !committed {
+			res.PermanentFailures++
+			latency := now - arrival
+			allLat.Observe(int64(latency * 1e9))
+			rec.Record(traceID, obs.EvGiveUp, -1, cfg.Retry.MaxAttempts, now, int64(latency*1e9))
+			if now > res.MakespanSec {
+				res.MakespanSec = now
+			}
+		}
+	}
+
+	latSnap := allLat.Snapshot()
+	res.LatencyP50 = float64(latSnap.P50) / 1e9
+	res.LatencyP99 = float64(latSnap.P99) / 1e9
+	res.LatencyP999 = float64(latSnap.P999) / 1e9
+	if res.Offered > 0 {
+		res.AvailabilityPct = 100 * float64(res.Committed) / float64(res.Offered)
+	}
+
+	// Pre-drain replication lag: what a bounded-staleness router would
+	// see at the end of the replay. Dead members are absent — unknown lag
+	// is ineligible lag.
+	res.Lags = map[int]int64{}
+	for g := 0; g < k; g++ {
+		grp := h.groups[g]
+		for _, m := range grp.liveBackups() {
+			res.Lags[memberID(g, m, cfg.Replicas)] = grp.pr.lag(m)
+		}
+		h.trackLag(g)
+	}
+
+	// Anti-entropy epilogue: every dead member rejoins (snapshot install
+	// or log-tail ship), then the final drain brings every backup to its
+	// group's chain head.
+	h.catchup = true
+	endVT := res.MakespanSec
+	for g := 0; g < k; g++ {
+		grp := h.groups[g]
+		deadSlots := make([]int, 0, len(grp.dead))
+		for m := range grp.dead {
+			deadSlots = append(deadSlots, m)
+		}
+		sort.Ints(deadSlots)
+		for _, m := range deadSlots {
+			if err := h.rejoinMember(srvCtx, g, m, endVT); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for g := 0; g < k; g++ {
+		grp := h.groups[g]
+		for _, m := range grp.liveBackups() {
+			if h.shipTo(srvCtx, g, m, grp.pr.seq, 4*cfg.Wire.MaxAttempts, 0, endVT) {
+				continue
+			}
+			// A still-armed crash point can fire on the drain batch itself:
+			// rejoin the member once and retry before declaring divergence.
+			if grp.dead[m] {
+				if err := h.rejoinMember(srvCtx, g, m, endVT); err != nil {
+					return nil, err
+				}
+			}
+			if !h.shipTo(srvCtx, g, m, grp.pr.seq, 4*cfg.Wire.MaxAttempts, 0, endVT) {
+				return nil, fmt.Errorf("repl: group %d member %d failed to drain to %d (acked %d)",
+					g, m, grp.pr.seq, grp.pr.acked[m])
+			}
+		}
+	}
+
+	// End of run: the whole cluster crashes. Backup goroutines unwind
+	// (closing their logs as-is), then the primaries' logs close, and
+	// recovery replays every member log independently.
+	stopServers()
+	h.wg.Wait()
+	for g := 0; g < k; g++ {
+		h.groups[g].pr.log.Close()
+	}
+
+	// Consistency oracle. Expected state: re-execute exactly the
+	// surviving (acknowledged and not lost) writes on fault-free stores.
+	// Observed state: every member's recovered store, which must equal
+	// its group's expected store — promotion, rejoin, and drain have made
+	// the group converge.
+	expected := make([]*db.DB, k)
+	for g := range expected {
+		expected[g] = db.New(d.Schema())
+	}
+	for _, e := range h.journal {
+		if e.lost {
+			continue
+		}
+		for _, po := range e.ops {
+			if err := expected[po.part].Apply(po.op); err != nil {
+				return nil, fmt.Errorf("repl: oracle replay: %w", err)
+			}
+		}
+	}
+	res.OracleOK = true
+	primStores := make([]*db.DB, k)
+	for g := 0; g < k; g++ {
+		wantDg := expected[g].TableDigests()
+		for m := 0; m <= cfg.Replicas; m++ {
+			rc, err := wal.RecoverFile(d.Schema(), MemberLogPath(cfg.WALDir, g, m))
+			if err != nil {
+				return nil, fmt.Errorf("repl: recover group %d member %d: %w", g, m, err)
+			}
+			rec.Record(0, obs.EvRecover, memberID(g, m, cfg.Replicas), 0, endVT, int64(len(rc.Committed)))
+			res.TotalMembers++
+			gotDg := rc.DB.TableDigests()
+			converged := len(gotDg) == len(wantDg)
+			for name, dg := range wantDg {
+				if gotDg[name] != dg {
+					converged = false
+				}
+			}
+			if converged {
+				res.ConvergedMembers++
+			} else {
+				res.OracleOK = false
+			}
+			if m == h.groups[g].pr.member {
+				primStores[g] = rc.DB
+			}
+		}
+	}
+	want := wal.CombineDigests(expected)
+	got := wal.CombineDigests(primStores)
+	if len(want) != len(got) {
+		res.OracleOK = false
+	}
+	res.TableDigests = make(map[string]string, len(got))
+	for name, dg := range got {
+		res.TableDigests[name] = fmt.Sprintf("%016x", dg)
+		if want[name] != dg {
+			res.OracleOK = false
+		}
+	}
+
+	cRuns.Inc()
+	cCommits.Add(int64(res.Committed))
+	if !res.OracleOK {
+		cOracleFail.Inc()
+	}
+	return res, nil
+}

@@ -141,8 +141,15 @@ func (e *EpochRouter) RoutePartitions(class string, params map[string]value.Valu
 // Deprecated: new code should call Route(ctx, Request); RouteSafe remains
 // as the implementation behind it.
 func (e *EpochRouter) RouteSafe(class string, params map[string]value.Value, h faults.Health) (Decision, uint64, error) {
+	return e.routeSafe(class, params, h, nil, 0)
+}
+
+// routeSafe is the epoch-aware routing core shared by Route and the
+// deprecated RouteSafe wrapper; lag/budget bound the replica fallback as
+// in Router.routeSafe.
+func (e *EpochRouter) routeSafe(class string, params map[string]value.Value, h faults.Health, lag ReplicaLag, budget int64) (Decision, uint64, error) {
 	st := e.cur.Load()
-	dec, err := st.rt.RouteSafe(class, params, h)
+	dec, err := st.rt.routeSafe(class, params, h, lag, budget)
 	if err == nil || !errors.Is(err, ErrStaleLookup) {
 		return dec, st.epoch, err
 	}
@@ -154,7 +161,7 @@ func (e *EpochRouter) RouteSafe(class string, params map[string]value.Value, h f
 		return Decision{}, st.epoch, fmt.Errorf("router: epoch %d catch-up failed (%v): %w",
 			st.epoch, cerr, ErrStaleLookup)
 	}
-	dec, err = fresh.rt.RouteSafe(class, params, h)
+	dec, err = fresh.rt.routeSafe(class, params, h, lag, budget)
 	return dec, fresh.epoch, err
 }
 

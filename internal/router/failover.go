@@ -18,13 +18,35 @@ import (
 
 // Registry metrics (see DESIGN.md, "Metric reference").
 var (
-	cRouteReplica   = obs.Default.Counter("router.route_replica")
-	cRouteDegraded  = obs.Default.Counter("router.route_degraded")
-	cRouteDownErrs  = obs.Default.Counter("router.route_down_errors")
-	cStaleDetected  = obs.Default.Counter("router.stale_detected")
-	cRefreshes      = obs.Default.Counter("router.refreshes")
-	cClassesRebuilt = obs.Default.Counter("router.classes_rebuilt")
+	cRouteReplica     = obs.Default.Counter("router.route_replica")
+	cRouteDegraded    = obs.Default.Counter("router.route_degraded")
+	cRouteDownErrs    = obs.Default.Counter("router.route_down_errors")
+	cStaleDetected    = obs.Default.Counter("router.stale_detected")
+	cRefreshes        = obs.Default.Counter("router.refreshes")
+	cClassesRebuilt   = obs.Default.Counter("router.classes_rebuilt")
+	cReplicaStaleSkip = obs.Default.Counter("router.replica_stale_skipped")
 )
+
+// ReplicaLag is a point-in-time view of replica staleness: how many WAL
+// records node's replica copy is behind the authoritative chain. The
+// replication layer (internal/repl) exports one per replica group; a
+// routing request carrying the view bounds the replica fallback to
+// copies inside its staleness budget. A node whose lag is unknown
+// (ok=false) is never eligible — an unreachable or rejoining replica
+// must not serve bounded-staleness reads.
+type ReplicaLag interface {
+	Lag(node int) (lag int64, ok bool)
+}
+
+// LagMap is a ReplicaLag over an explicit node→lag map — the shape the
+// replication harness snapshots and the tests hand-build.
+type LagMap map[int]int64
+
+// Lag returns the node's mapped lag.
+func (m LagMap) Lag(node int) (int64, bool) {
+	lag, ok := m[node]
+	return lag, ok
+}
 
 // Typed failure-mode errors. Callers match them with errors.Is.
 var (
@@ -180,8 +202,18 @@ func (r *Router) Refresh() ([]string, error) {
 //  4. writes never drop participants — they fail with ErrPartitionDown.
 //
 // Deprecated: new code should call Route(ctx, Request); RouteSafe remains
-// as the implementation behind it.
+// as the implementation behind it. It routes without a replica-lag view,
+// so the replica fallback accepts any healthy node regardless of
+// staleness.
 func (r *Router) RouteSafe(class string, params map[string]value.Value, h faults.Health) (Decision, error) {
+	return r.routeSafe(class, params, h, nil, 0)
+}
+
+// routeSafe is the failure-aware routing core. A nil lag view keeps the
+// historical replica fallback (first healthy node); a non-nil view bounds
+// it to replicas whose lag is within budget, picking deterministically:
+// smallest lag, ties to the lowest node id.
+func (r *Router) routeSafe(class string, params map[string]value.Value, h faults.Health, lag ReplicaLag, budget int64) (Decision, error) {
 	cRoutes.Inc()
 	if h == nil {
 		h = faults.AllUp
@@ -226,16 +258,20 @@ func (r *Router) RouteSafe(class string, params map[string]value.Value, h faults
 			class, mode, len(target)-len(up), len(target), ErrPartitionDown)
 	}
 
-	// Replica fallback: the class reads only replicated tables, so any
-	// healthy node serves it — including when its pinned partition is down.
+	// Replica fallback: the class reads only replicated tables, so a
+	// healthy node serves it — including when its pinned partition is
+	// down. With a lag view the node must additionally hold a copy inside
+	// the staleness budget.
 	if route.replicaOK {
-		for _, n := range r.all() {
-			if !h.Down(n) {
-				cRouteReplica.Inc()
-				return Decision{Partitions: []int{n}, Mode: ModeReplica}, nil
-			}
+		if n, ok := r.pickReplica(h, lag, budget); ok {
+			cRouteReplica.Inc()
+			return Decision{Partitions: []int{n}, Mode: ModeReplica}, nil
 		}
 		cRouteDownErrs.Inc()
+		if lag != nil {
+			return Decision{}, fmt.Errorf("class %s: no healthy replica within staleness budget %d: %w",
+				class, budget, ErrPartitionDown)
+		}
 		return Decision{}, fmt.Errorf("class %s: no healthy replica node: %w", class, ErrPartitionDown)
 	}
 
@@ -249,4 +285,34 @@ func (r *Router) RouteSafe(class string, params map[string]value.Value, h faults
 	}
 	cRouteDegraded.Inc()
 	return Decision{Partitions: up, Mode: ModeDegraded}, nil
+}
+
+// pickReplica selects the replica-fallback node under a health view and
+// an optional lag view. Without a lag view it keeps the historical rule:
+// the first healthy node in ascending order. With one, it returns the
+// healthy node with the smallest known lag not exceeding budget (ties to
+// the lowest node id); nodes with unknown lag or lag over budget are
+// skipped (and counted).
+func (r *Router) pickReplica(h faults.Health, lag ReplicaLag, budget int64) (int, bool) {
+	if budget < 0 {
+		budget = 0
+	}
+	best, bestLag, found := -1, int64(0), false
+	for _, n := range r.all() {
+		if h.Down(n) {
+			continue
+		}
+		if lag == nil {
+			return n, true
+		}
+		l, known := lag.Lag(n)
+		if !known || l > budget {
+			cReplicaStaleSkip.Inc()
+			continue
+		}
+		if !found || l < bestLag {
+			best, bestLag, found = n, l, true
+		}
+	}
+	return best, found
 }

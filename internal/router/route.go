@@ -28,6 +28,18 @@ type Request struct {
 	// Health is the cluster-health view; nil means all nodes up.
 	Health faults.Health
 
+	// Replicas, when non-nil, bounds the replica fallback by staleness:
+	// ModeReplica only routes to a node whose replication lag (records
+	// behind the authoritative chain) is known and at most
+	// StalenessBudget. Nil keeps the historical rule — any healthy node
+	// qualifies. The replication layer exports the view; see
+	// internal/repl.
+	Replicas ReplicaLag
+	// StalenessBudget is the largest acceptable replica lag, in WAL
+	// records, when Replicas is set. Zero admits only fully caught-up
+	// replicas.
+	StalenessBudget int64
+
 	// TxnID, VT and Recorder opt the request into transaction-level
 	// flight-recorder tracing: when Recorder is non-nil, the routing
 	// decision (or denial) is recorded against TxnID at virtual time VT.
@@ -70,7 +82,7 @@ func (req *Request) traceDecision(d Decision, err error) {
 // repository root for the migration table from the old entry points.
 func (r *Router) Route(ctx context.Context, req Request) (Decision, error) {
 	_ = ctx // reserved: cancellation; routing is on the hot path
-	d, err := r.RouteSafe(req.Class, req.Params, req.Health)
+	d, err := r.routeSafe(req.Class, req.Params, req.Health, req.Replicas, req.StalenessBudget)
 	req.traceDecision(d, err)
 	return d, err
 }
@@ -80,7 +92,7 @@ func (r *Router) Route(ctx context.Context, req Request) (Decision, error) {
 // Stale epochs catch up and retry once (see RouteSafe).
 func (e *EpochRouter) Route(ctx context.Context, req Request) (Decision, uint64, error) {
 	_ = ctx
-	d, epoch, err := e.RouteSafe(req.Class, req.Params, req.Health)
+	d, epoch, err := e.routeSafe(req.Class, req.Params, req.Health, req.Replicas, req.StalenessBudget)
 	req.traceDecision(d, err)
 	return d, epoch, err
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/repl"
 	"repro/internal/trace"
 	"repro/internal/twopc"
 )
@@ -55,6 +56,12 @@ const (
 	// a real transport (in-proc bus or loopback TCP) with per-message
 	// timeouts, retransmission, and optional coordinator failover.
 	ModeTwoPC
+	// ModeReplicated is the replica-group replay: every partition becomes
+	// a group of one primary plus R WAL-backed backups; the primary ships
+	// its log over the transport, commits observe the configured rule
+	// (async or quorum ack), and a heartbeat failure detector promotes the
+	// most-caught-up backup when the primary crashes.
+	ModeReplicated
 )
 
 // String names the mode.
@@ -74,6 +81,8 @@ func (m Mode) String() string {
 		return "drift-oracle"
 	case ModeTwoPC:
 		return "twopc"
+	case ModeReplicated:
+		return "replicated"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -102,6 +111,10 @@ type Scenario struct {
 	// TwoPC parameterizes ModeTwoPC. Its Scenario, Seed, WALDir and
 	// Recorder fields are filled from the shared scenario fields below.
 	TwoPC twopc.Config
+	// Repl parameterizes ModeReplicated. As with TwoPC, its Scenario,
+	// Seed, WALDir and Recorder fields are filled from the shared
+	// scenario fields below.
+	Repl repl.Config
 	// Drift parameterizes the three drift modes.
 	Drift DriftConfig
 
@@ -130,6 +143,7 @@ type RunResult struct {
 	Durable *DurableResult
 	Drift   *DriftResult
 	TwoPC   *twopc.Result
+	Repl    *repl.Result
 }
 
 // String renders the selected mode's result summary.
@@ -145,6 +159,8 @@ func (r *RunResult) String() string {
 		return r.Drift.String()
 	case r.TwoPC != nil:
 		return r.TwoPC.String()
+	case r.Repl != nil:
+		return r.Repl.String()
 	default:
 		return r.Mode.String() + ": no result"
 	}
@@ -185,6 +201,9 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 	if sc.TwoPC.Recorder == nil {
 		sc.TwoPC.Recorder = sc.Recorder
 	}
+	if sc.Repl.Recorder == nil {
+		sc.Repl.Recorder = sc.Recorder
+	}
 	out := &RunResult{Mode: sc.Mode}
 	switch sc.Mode {
 	case ModePlain:
@@ -223,6 +242,19 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 			return nil, err
 		}
 		out.TwoPC = res
+	case ModeReplicated:
+		if sc.WALDir == "" {
+			return nil, fmt.Errorf("sim: replicated scenario without a WAL directory")
+		}
+		cfg := sc.Repl
+		cfg.Scenario = sc.faults()
+		cfg.Seed = sc.Seed
+		cfg.WALDir = sc.WALDir
+		res, err := repl.Run(ctx, sc.DB, sc.Solution, sc.Trace, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Repl = res
 	case ModeDriftStatic:
 		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeStatic, nil)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fixture"
 	"repro/internal/partition"
+	"repro/internal/repl"
 	"repro/internal/trace"
 )
 
@@ -140,6 +141,35 @@ func TestScenarioMatchesEngines(t *testing.T) {
 		}
 	})
 
+	t.Run("replicated", func(t *testing.T) {
+		fsc, err := faults.Builtin("single-crash", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := repl.Run(ctx, d, sol, tr, repl.Config{
+			Scenario: fsc, Seed: 7, WALDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(Scenario{
+			Mode: ModeReplicated, DB: d, Solution: sol, Trace: tr,
+			Faults: fsc, Seed: 7, WALDir: t.TempDir(),
+		}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Repl == nil || got.Mode != ModeReplicated {
+			t.Fatalf("replicated result missing: %+v", got)
+		}
+		if !got.Repl.OracleOK {
+			t.Error("replicated scenario run failed its consistency oracle")
+		}
+		if !bytes.Equal(mustJSON(t, want), mustJSON(t, got.Repl)) {
+			t.Error("scenario replicated result diverged from the repl engine")
+		}
+	})
+
 	t.Run("drift-static", func(t *testing.T) {
 		want, err := runDrift(ctx, d, sol, tr, DriftConfig{WindowSize: 100}, modeStatic, nil)
 		if err != nil {
@@ -172,6 +202,7 @@ func TestScenarioValidation(t *testing.T) {
 		{"nil solution", Scenario{DB: d, Trace: tr}},
 		{"nil trace", Scenario{DB: d, Solution: sol}},
 		{"durable without wal dir", Scenario{Mode: ModeDurable, DB: d, Solution: sol, Trace: tr}},
+		{"replicated without wal dir", Scenario{Mode: ModeReplicated, DB: d, Solution: sol, Trace: tr}},
 		{"adaptive without repart", Scenario{Mode: ModeDriftAdaptive, DB: d, Solution: sol, Trace: tr}},
 		{"oracle without repart", Scenario{Mode: ModeDriftOracle, DB: d, Solution: sol, Trace: tr}},
 		{"unknown mode", Scenario{Mode: Mode(99), DB: d, Solution: sol, Trace: tr}},

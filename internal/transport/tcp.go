@@ -159,7 +159,26 @@ func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
 	}
 	e.conns[to] = c
 	e.mu.Unlock()
+	go e.monitorConn(to, c)
 	return c, nil
+}
+
+// monitorConn watches a dialed connection for peer close. Dialed links
+// are write-only — the peer never sends frames back on them — so a read
+// returning means the peer hung up (restart, crash). Evicting the cached
+// connection here, rather than waiting for a write to hit EPIPE, closes
+// the window where a Send after a peer restart writes a frame into a
+// dead socket's kernel buffer and "succeeds": the next Send re-dials,
+// reaching the restarted peer. The goroutine exits when the connection
+// closes, whichever side closes it.
+func (e *TCPEndpoint) monitorConn(to int, c net.Conn) {
+	buf := make([]byte, 1)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			e.dropConn(to, c)
+			return
+		}
+	}
 }
 
 // dropConn forgets (and closes) the cached connection to node `to`.

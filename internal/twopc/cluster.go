@@ -410,6 +410,7 @@ func Run(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace
 	leaderAlive.Store(true)
 	if cfg.Standby {
 		sb = NewStandby(k+1, cl.eps[k+1], cfg.WALDir, partitionIDs(k), cfg.LeaseTimeout, dcfg)
+		sb.SetLeader(k)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -28,6 +28,7 @@ type Standby struct {
 	walDir string
 	parts  []int
 	lease  time.Duration
+	leader int
 	report chan TakeoverReport
 }
 
@@ -42,9 +43,14 @@ func NewStandby(id int, ep transport.Transport, walDir string, parts []int, leas
 		walDir: walDir,
 		parts:  append([]int(nil), parts...),
 		lease:  lease,
+		leader: -1,
 		report: make(chan TakeoverReport, 1),
 	}
 }
+
+// SetLeader pins the node id whose heartbeats renew the lease. Unset
+// (negative, the default), a heartbeat from any node renews it.
+func (s *Standby) SetLeader(id int) { s.leader = id }
 
 // Done delivers the takeover report once Run has failed over.
 func (s *Standby) Done() <-chan TakeoverReport { return s.report }
@@ -55,16 +61,24 @@ func (s *Standby) Endpoint() transport.Transport { return s.d.ep }
 // Run watches heartbeats until the lease lapses, then takes over and
 // returns. A context cancellation before expiry returns without a
 // takeover (the leader outlived the run).
+//
+// Only a HEARTBEAT from the current leader renews the lease: the
+// deadline is absolute, and every other frame merely consumes what is
+// left of the window. (An earlier version restarted the lease clock on
+// every received frame, so a chatty participant — retransmitting votes,
+// scan replies, anything — could suppress failover indefinitely even
+// with the leader long dead.)
 func (s *Standby) Run(ctx context.Context) {
+	deadline := time.Now().Add(s.lease)
 	for {
-		rctx, cancel := context.WithTimeout(ctx, s.lease)
+		rctx, cancel := context.WithDeadline(ctx, deadline)
 		m, err := s.d.ep.Recv(rctx)
 		cancel()
 		if err == nil {
-			if m.Type == MsgHeartbeat {
-				continue
+			if m.Type == MsgHeartbeat && (s.leader < 0 || m.From == s.leader) {
+				deadline = time.Now().Add(s.lease)
 			}
-			continue // stray frame; the lease clock resets regardless
+			continue
 		}
 		if ctx.Err() != nil {
 			return

@@ -411,3 +411,55 @@ func TestPayloadCodecs(t *testing.T) {
 		t.Fatal("short scan payload accepted")
 	}
 }
+
+// TestStandbyChattyParticipantCannotSuppressFailover pins the lease
+// semantics: only a HEARTBEAT from the configured leader renews the
+// lease. A participant flooding stray frames — votes, even heartbeats
+// from the wrong node — at many times the lease rate must not postpone
+// the takeover once the real leader goes silent. (The pre-fix loop
+// restarted the lease clock on every received frame, so this test hung
+// past the 10-lease deadline.)
+func TestStandbyChattyParticipantCannotSuppressFailover(t *testing.T) {
+	bus := transport.NewBus()
+	sbEp, err := bus.Endpoint(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chat, err := bus.Endpoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lease = 120 * time.Millisecond
+	sb := NewStandby(10, sbEp, t.TempDir(), nil, lease, driverConfig{})
+	sb.SetLeader(9)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { sb.Run(ctx); close(done) }()
+
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	go func() {
+		tick := time.NewTicker(lease / 10)
+		defer tick.Stop()
+		for {
+			select {
+			case <-floodCtx.Done():
+				return
+			case <-tick.C:
+				_ = chat.Send(floodCtx, transport.Msg{Type: MsgVoteYes, From: 3, To: 10, Txn: 1})
+				_ = chat.Send(floodCtx, transport.Msg{Type: MsgHeartbeat, From: 3, To: 10})
+			}
+		}
+	}()
+
+	select {
+	case <-sb.Done():
+		// Failover fired despite the chatter.
+	case <-time.After(10 * lease):
+		t.Fatal("chatty participant suppressed failover past 10 leases")
+	}
+	cancel()
+	<-done
+}
