@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc repl fuzz clean
+.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc repl serve fuzz clean
 
 all: build
 
@@ -33,12 +33,14 @@ bench:
 # bench-export writes BENCH_obs.json, the machine-readable perf
 # trajectory (ns/op, allocs/op, B/op per micro-benchmark),
 # BENCH_drift.json, the drift-adaptation quality record (post-drift
-# distributed fractions per controller, movement, swaps), and
+# distributed fractions per controller, movement, swaps),
 # BENCH_parallel.json, the parallel-search record (pipeline wall-clock at
 # Parallelism 1 vs 8, the speedup ratio, the host CPU count, and the
-# cross-worker-count solution byte-identity check).
+# cross-worker-count solution byte-identity check), and BENCH_serve.json,
+# the overload-protection record (goodput and executed-tail p99/p999 at
+# 1x and 2x offered load, admission on vs off).
 bench-export:
-	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport|TestParallelBenchExport' -v .
+	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport|TestParallelBenchExport|TestServeExport' -v .
 
 # experiments regenerates the paper's tables and figures at reduced
 # scales, with the phase trace and a metrics artifact.
@@ -102,6 +104,21 @@ repl:
 		-flight-dump /tmp/jecb-repl-b/flight.json
 	cmp /tmp/jecb-repl-a/flight.json /tmp/jecb-repl-b/flight.json
 
+# serve runs the live-serving experiment table (scenario x offered load
+# x admission on/off; the printer errors the run if overload protection
+# fails its acceptance — protected 2x tail within 5x of the 1x baseline,
+# goodput >= 80% of capacity, unprotected collapse), then checks the
+# determinism contract: two same-seed serving pipeline runs under a
+# flaky network must print byte-identical reports and JSON blocks.
+serve:
+	$(GO) run ./cmd/experiments -run serve -quick
+	$(GO) build -o /tmp/jecb-serve-bin ./cmd/jecb
+	/tmp/jecb-serve-bin -benchmark synthetic -k 4 -txns 1500 -serve -serve-load 2 \
+		-serve-duration 1 -chaos-scenario flaky-network > /tmp/jecb-serve-a.txt
+	/tmp/jecb-serve-bin -benchmark synthetic -k 4 -txns 1500 -serve -serve-load 2 \
+		-serve-duration 1 -chaos-scenario flaky-network > /tmp/jecb-serve-b.txt
+	cmp /tmp/jecb-serve-a.txt /tmp/jecb-serve-b.txt
+
 # fuzz gives each fuzz target a short exploration budget beyond the seed
 # corpora that already run in the normal test pass.
 fuzz:
@@ -112,4 +129,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/transport/
 
 clean:
-	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json experiments_obs.json
+	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json BENCH_serve.json experiments_obs.json

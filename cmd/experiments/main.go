@@ -20,12 +20,13 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	_ "repro/internal/workloads/all"
 )
 
 func main() {
 	var (
-		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos durability twopc replication drift all)")
+		which       = flag.String("run", "all", "experiment to run (fig5 fig6 table1 table2 fig7 tpce synthetic ablation chaos durability twopc replication drift serve all)")
 		quick       = flag.Bool("quick", false, "reduced scales (~30s total)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for the JECB search (0 = GOMAXPROCS); tables are identical for any value")
@@ -138,6 +139,12 @@ func run(ctx context.Context, which string, quick bool, seed int64) error {
 	if want("drift") {
 		ran = true
 		if err := step("drift", func() error { return driftAdaptation(quick, seed) }); err != nil {
+			return err
+		}
+	}
+	if want("serve") {
+		ran = true
+		if err := step("serve", func() error { return serving(quick, seed) }); err != nil {
 			return err
 		}
 	}
@@ -534,6 +541,71 @@ func synthetic(quick bool, seed int64) error {
 	fmt.Println("|---|---|---|")
 	for _, p := range pts {
 		fmt.Printf("| %.0f%% | %.1f%% | %.1f%% |\n", 100*p.SchemaFrac, 100*p.JECB, 100*p.ColumnBased)
+	}
+	return nil
+}
+
+// serving renders the live-serving overload table: the JECB solution
+// driven by the serving engine per (scenario, offered load, admission)
+// cell. The acceptance bars are asserted on the fault-free cells: at 2×
+// saturating load, admission-on must keep the executed p999 within 5×
+// of the 1× baseline and goodput at ≥80% of peak, while admission-off
+// must visibly collapse (goodput under half of the protected cell).
+// Output is fully deterministic per seed — the CI serve job diffs two
+// runs byte-for-byte.
+func serving(quick bool, seed int64) error {
+	scale, txns, duration := 400, 4000, 6.0
+	if quick {
+		scale, txns, duration = 200, 1500, 3.0
+	}
+	fmt.Print("\n## Serving — overload protection: admission, breakers, AIMD guardrail (k=4, synthetic)\n\n")
+	scenarios := []string{"none", "single-crash", "flaky-network"}
+	loads := []float64{1, 2}
+	rows, err := experiments.Serving("synthetic", scenarios, loads, 4, scale, txns, duration, seed, "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("| scenario | load | admission | goodput | committed | shed | denied | failed | expired | p99 | p999 | trips |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		res := r.Result
+		adm := "off"
+		if r.Admission {
+			adm = "on"
+		}
+		fmt.Printf("| %s | %gx | %s | %.0f tps | %d/%d | %d | %d | %d | %d | %.1fms | %.1fms | %d |\n",
+			r.Scenario, r.LoadFactor, adm, res.GoodputTPS, res.Committed, res.Offered,
+			res.Shed, res.Denied, res.Failed, res.Expired,
+			1e3*res.LatencyP99, 1e3*res.LatencyP999, res.BreakerTrips)
+	}
+	fmt.Println("\n(offered load is a multiple of the pool's analytic capacity; goodput counts commits")
+	fmt.Println(" inside their deadline; shed requests never execute and carry no latency sample;")
+	fmt.Println(" breakers learn partition health from outcomes — the router never sees the fault schedule)")
+
+	cell := func(scenario string, lf float64, admission bool) *serve.Result {
+		for _, r := range rows {
+			if r.Scenario == scenario && r.LoadFactor == lf && r.Admission == admission {
+				return r.Result
+			}
+		}
+		return nil
+	}
+	base := cell("none", 1, true)
+	prot := cell("none", 2, true)
+	coll := cell("none", 2, false)
+	if base == nil || prot == nil || coll == nil {
+		return fmt.Errorf("serving table missing its fault-free cells")
+	}
+	if prot.LatencyP999 > 5*base.LatencyP999 {
+		return fmt.Errorf("admission-on 2x p999 %.4fs exceeds 5x the 1x baseline %.4fs",
+			prot.LatencyP999, base.LatencyP999)
+	}
+	if peak := base.GoodputTPS; prot.GoodputTPS < 0.8*peak {
+		return fmt.Errorf("admission-on 2x goodput %.0f under 80%% of peak %.0f", prot.GoodputTPS, peak)
+	}
+	if coll.GoodputTPS > prot.GoodputTPS/2 {
+		return fmt.Errorf("admission-off 2x goodput %.0f did not collapse (protected %.0f)",
+			coll.GoodputTPS, prot.GoodputTPS)
 	}
 	return nil
 }

@@ -61,6 +61,25 @@
 //	                     hotspot-birth) under static, adaptive and oracle control
 //	-drift-budget 1500   total moved-tuple budget for migrations (<=0 unbounded)
 //	-drift-window 500    detection window in transactions
+//
+// Serving flags (live load generation with overload protection):
+//
+//	-serve               drive the computed solution with the serving engine:
+//	                     a seeded load generator offering the test trace's
+//	                     transaction shapes at -serve-load times the worker
+//	                     pool's analytic capacity, through admission control,
+//	                     per-partition circuit breakers, deadlines with retry
+//	                     budgets, and the SLO-driven AIMD guardrail
+//	-serve-load 1.0      offered load as a multiple of analytic capacity
+//	-serve-duration 2.0  arrival horizon in virtual seconds
+//	-serve-arrival poisson  arrival process: poisson, burst, closed
+//	-serve-admission     admission control on (default); -serve-admission=false
+//	                     demonstrates the overload collapse
+//	-serve-seed 1        load/fault seed (same seed = byte-identical JSON)
+//
+// The serving stage reuses -chaos-scenario to overlay node crashes and a
+// flaky network on the offered load, and -wal-dir for durable partition
+// stores (empty = memory-only).
 package main
 
 import (
@@ -86,6 +105,7 @@ import (
 	"repro/internal/repl"
 	"repro/internal/router"
 	"repro/internal/schism"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
@@ -132,6 +152,21 @@ type flightOpts struct {
 	cap  int
 }
 
+// serveOpts bundles the live-serving flags.
+type serveOpts struct {
+	enabled   bool
+	load      float64
+	duration  float64
+	arrival   string
+	admission bool
+	seed      int64
+	// scenario and walDir are shared with the chaos bundle: the serving
+	// stage overlays -chaos-scenario faults and (optionally) persists the
+	// partition stores under -wal-dir.
+	scenario string
+	walDir   string
+}
+
 func main() {
 	var (
 		benchmark   = flag.String("benchmark", "tpcc", "benchmark: "+strings.Join(workloads.Names(), ", "))
@@ -165,6 +200,13 @@ func main() {
 
 		flightDump = flag.String("flight-dump", "", "write the transaction flight recorder as sorted JSON to this file on exit (even on failure)")
 		flightCap  = flag.Int("flight-cap", 65536, "flight-recorder capacity in events (oldest overwritten past the cap)")
+
+		serveRun       = flag.Bool("serve", false, "drive the computed solution with the live serving engine (admission control, circuit breakers, deadlines, AIMD)")
+		serveLoad      = flag.Float64("serve-load", 1.0, "offered load as a multiple of the worker pool's analytic capacity")
+		serveDuration  = flag.Float64("serve-duration", 2.0, "arrival horizon in virtual seconds")
+		serveArrival   = flag.String("serve-arrival", "", "arrival process: poisson (default), burst, closed")
+		serveAdmission = flag.Bool("serve-admission", true, "admission control (token bucket + queue cap + AIMD); false demonstrates the overload collapse")
+		serveSeed      = flag.Int64("serve-seed", 1, "serving load/fault seed (same seed = byte-identical JSON block)")
 	)
 	flag.Parse()
 
@@ -173,8 +215,11 @@ func main() {
 		replicate: *replicate, replicas: *replicas, commitRule: *commitRule}
 	do := driftOpts{scenario: *driftScenario, budget: *driftBudget, window: *driftWindow}
 	fo := flightOpts{dump: *flightDump, cap: *flightCap}
+	so := serveOpts{enabled: *serveRun, load: *serveLoad, duration: *serveDuration,
+		arrival: *serveArrival, admission: *serveAdmission, seed: *serveSeed,
+		scenario: *chaosScenario, walDir: *walDir}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
-		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do, fo); err != nil {
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do, fo, so); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
@@ -183,7 +228,7 @@ func main() {
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
 func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int,
-	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts, fo flightOpts) error {
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts, fo flightOpts, so serveOpts) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
 		srv, err := obs.ServeDebug(debugAddr, obs.Default)
@@ -204,7 +249,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 		rec = obs.NewRecorder(fo.cap)
 		ctx = obs.WithRecorder(ctx, rec)
 	}
-	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do)
+	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so)
 	tr.Finish()
 	// Dump BEFORE the error check: the flight recorder is the post-mortem
 	// artifact, so a failed run (oracle divergence, panic) must still write.
@@ -254,19 +299,19 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 // surface as an error with a stack trace instead of crashing the process
 // past the deferred artifact/metrics writers.
 func runRecovered(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64,
-	seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts) (sol *partition.Solution, err error) {
+	seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts) (sol *partition.Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
 			err = fmt.Errorf("internal error: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do)
+	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so)
 }
 
 // run executes the pipeline — load, trace, partition, evaluate, route,
 // and optionally the chaos replay — and returns the computed solution.
-func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts) (*partition.Solution, error) {
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
@@ -374,7 +419,63 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 			return nil, err
 		}
 	}
+	if so.enabled {
+		if err := serveStage(ctx, d, sol, b, test, so); err != nil {
+			return nil, err
+		}
+	}
 	return sol, nil
+}
+
+// serveStage drives the computed solution with the live serving engine:
+// a seeded load generator offering the test trace's transaction shapes at
+// -serve-load times the worker pool's analytic capacity, through the
+// overload-protection stack (admission control, per-partition circuit
+// breakers, deadlines with retry budgets, AIMD). The JSON block is the
+// determinism contract: the same flags and seeds print byte-identical
+// results.
+func serveStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark,
+	test *trace.Trace, so serveOpts) error {
+	sc, err := faults.LoadScenario(so.scenario, sol.K)
+	if err != nil {
+		return err
+	}
+	_, span := obs.StartSpan(ctx, "serve/"+sc.Name)
+	defer span.End()
+
+	arrival := so.arrival
+	switch arrival {
+	case "":
+		arrival = serve.ArrivalPoisson
+	case serve.ArrivalPoisson, serve.ArrivalBurst, serve.ArrivalClosed:
+	default:
+		return fmt.Errorf("unknown -serve-arrival %q (have: poisson, burst, closed)", so.arrival)
+	}
+	admission := "on"
+	if !so.admission {
+		admission = "off"
+	}
+	fmt.Printf("serve: scenario %q, load %gx, %gs horizon, arrival %s, admission %s\n",
+		sc.Name, so.load, so.duration, arrival, admission)
+	run, err := sim.New(sim.Scenario{
+		Mode: sim.ModeServe, DB: d, Solution: sol, Trace: test,
+		Faults: sc, Seed: so.seed, WALDir: so.walDir,
+		Serve: serve.Config{
+			Load:       serve.LoadConfig{LoadFactor: so.load, DurationSec: so.duration, Arrival: arrival},
+			Admission:  serve.AdmissionConfig{Enabled: so.admission},
+			Procedures: workloads.Procedures(b),
+		},
+	}).Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + run.Serve.String())
+	data, err := json.MarshalIndent(run.Serve, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + string(data))
+	return nil
 }
 
 // driftStage replays a drifting workload on the loaded (synthetic)

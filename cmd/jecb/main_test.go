@@ -12,7 +12,7 @@ import (
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, 0, algo == "jecb", chaosOpts{}, driftOpts{})
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, 0, algo == "jecb", chaosOpts{}, driftOpts{}, serveOpts{})
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -24,17 +24,17 @@ func TestRunAllAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
@@ -48,7 +48,7 @@ func TestRealMainArtifacts(t *testing.T) {
 	flightPath := filepath.Join(dir, "flight.json")
 	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1, 0,
 		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{},
-		flightOpts{dump: flightPath, cap: 1 << 16}); err != nil {
+		flightOpts{dump: flightPath, cap: 1 << 16}, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(solPath)
@@ -91,7 +91,7 @@ func TestRealMainArtifacts(t *testing.T) {
 // by name and scenario loaded from a JSON file.
 func TestRunChaosStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}, serveOpts{}); err != nil {
 		t.Errorf("builtin scenario: %v", err)
 	}
 	path := filepath.Join(t.TempDir(), "sc.json")
@@ -100,7 +100,7 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}, serveOpts{}); err != nil {
 		t.Errorf("file scenario: %v", err)
 	}
 	// Malformed scenario files surface as errors, not panics.
@@ -109,7 +109,7 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}); err == nil {
+		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}, serveOpts{}); err == nil {
 		t.Error("malformed scenario must error")
 	}
 }
@@ -118,13 +118,34 @@ func TestRunChaosStage(t *testing.T) {
 // replay runs after partitioning, on the same benchmark and seed.
 func TestRunDriftStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}); err != nil {
+		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}, serveOpts{}); err != nil {
 		t.Errorf("drift stage: %v", err)
 	}
 	// Unknown scenarios surface as errors, not panics.
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}); err == nil {
+		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}, serveOpts{}); err == nil {
 		t.Error("unknown drift scenario must error")
+	}
+}
+
+// TestRunServeStage exercises the -serve pipeline tail: the serving
+// engine runs after partitioning, on the test trace, under an optional
+// chaos scenario shared with the -chaos flags.
+func TestRunServeStage(t *testing.T) {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3}); err != nil {
+		t.Errorf("serve stage: %v", err)
+	}
+	// The scenario is shared with the chaos bundle and validated the
+	// same way: unknown names surface as errors, not panics.
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, scenario: "nope"}); err == nil {
+		t.Error("unknown serve scenario must error")
+	}
+	// So do unknown arrival processes.
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, arrival: "lumpy"}); err == nil {
+		t.Error("unknown arrival process must error")
 	}
 }
 
@@ -133,7 +154,7 @@ func TestRunDriftStage(t *testing.T) {
 func TestRunRecoveredConvertsPanics(t *testing.T) {
 	// k <= 0 reaches partitioner internals that enforce invariants with
 	// panics; the boundary must convert, not crash.
-	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{})
+	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{})
 	if err == nil {
 		t.Error("negative k must error")
 	}
@@ -141,7 +162,7 @@ func TestRunRecoveredConvertsPanics(t *testing.T) {
 
 func TestRealMainError(t *testing.T) {
 	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1, 0,
-		false, "", "", false, "", chaosOpts{}, driftOpts{}, flightOpts{}); err == nil {
+		false, "", "", false, "", chaosOpts{}, driftOpts{}, flightOpts{}, serveOpts{}); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

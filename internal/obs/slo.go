@@ -71,7 +71,8 @@ type SLOMonitor struct {
 	winN    int
 	winFail int
 
-	status SLOStatus
+	lastHealthy bool // most recent completed window met both objectives
+	status      SLOStatus
 }
 
 // NewSLOMonitor creates a monitor publishing slo.* metrics into the
@@ -134,6 +135,7 @@ func (m *SLOMonitor) closeWindow() {
 		st.MinAvailabilityPct = avail
 	}
 	breached := p99 > m.cfg.TargetP99Sec || avail < m.cfg.TargetAvailabilityPct
+	m.lastHealthy = !breached
 	if breached {
 		st.Breaches++
 		st.GuardrailTripped = true
@@ -156,6 +158,21 @@ func (m *SLOMonitor) closeWindow() {
 	m.win.Reset()
 	m.winN = 0
 	m.winFail = 0
+}
+
+// Healthy is the non-latched companion to GuardrailTripped: it reports
+// whether the most recent *completed* window met both objectives,
+// recovering as soon as a healthy window closes. Before any window
+// completes (and on a nil monitor) it reports true — no evidence of
+// trouble is not trouble. Controllers that must react to recovery (the
+// serving engine's AIMD admission guardrail steps its rate back up on
+// healthy windows) poll Healthy; post-run reports keep reading the
+// latched GuardrailTripped.
+func (m *SLOMonitor) Healthy() bool {
+	if m == nil || m.status.Windows == 0 {
+		return true
+	}
+	return m.lastHealthy
 }
 
 // Status returns the monitor's current state (zero-value on nil).

@@ -80,6 +80,69 @@ func TestSLOAvailabilityBreachAndLatch(t *testing.T) {
 	}
 }
 
+func TestSLOWindowBoundary(t *testing.T) {
+	// The tumbling window is [1..N] inclusive: the N-th Record closes the
+	// window with itself inside it, and the next Record opens a fresh one.
+	// An event landing exactly on the edge must count once — in the window
+	// it closes, never in the next.
+	m := NewSLOMonitorRegistry(SLOConfig{WindowTxns: 10, TargetP99Sec: 10, TargetAvailabilityPct: 95}, nil)
+	for i := 0; i < 9; i++ {
+		m.Record(0.01, true)
+	}
+	if m.Status().Windows != 0 {
+		t.Fatal("window closed before the boundary event")
+	}
+	// The 10th event — exactly on the window edge — is a failure. It must
+	// close the window and be charged to it: 9/10 = 90% < 95% target.
+	m.Record(0.01, false)
+	st := m.Status()
+	if st.Windows != 1 || st.Breaches != 1 {
+		t.Fatalf("boundary event not charged to its window: %+v", st)
+	}
+	if st.LastAvailabilityPct != 90 {
+		t.Fatalf("availability = %g, want 90", st.LastAvailabilityPct)
+	}
+	// The next window starts empty: the boundary failure must not leak in.
+	for i := 0; i < 10; i++ {
+		m.Record(0.01, true)
+	}
+	st = m.Status()
+	if st.Windows != 2 || st.LastAvailabilityPct != 100 {
+		t.Fatalf("boundary event leaked into the next window: %+v", st)
+	}
+	// Flush with nothing buffered past the edge must not mint a window.
+	m.Flush()
+	if m.Status().Windows != 2 {
+		t.Fatal("flush after an exact boundary created a phantom window")
+	}
+}
+
+func TestSLOHealthyNonLatched(t *testing.T) {
+	m := NewSLOMonitorRegistry(SLOConfig{WindowTxns: 10, TargetP99Sec: 10, TargetAvailabilityPct: 95}, nil)
+	var nilM *SLOMonitor
+	if !nilM.Healthy() || !m.Healthy() {
+		t.Fatal("nil monitor / no completed windows must report healthy")
+	}
+	// Window 1 breaches availability.
+	for i := 0; i < 10; i++ {
+		m.Record(0.01, i >= 2)
+	}
+	if m.Healthy() {
+		t.Fatal("Healthy must reflect the breached window")
+	}
+	// Window 2 recovers: Healthy flips back while the guardrail stays
+	// latched — the two views must diverge here.
+	for i := 0; i < 10; i++ {
+		m.Record(0.01, true)
+	}
+	if !m.Healthy() {
+		t.Fatal("Healthy must recover on a clean window")
+	}
+	if !m.Status().GuardrailTripped {
+		t.Fatal("guardrail must stay latched across the recovery")
+	}
+}
+
 func TestSLODefaultsAndNil(t *testing.T) {
 	m := NewSLOMonitorRegistry(SLOConfig{}, nil)
 	if m.cfg.WindowTxns != 256 || m.cfg.TargetP99Sec != 0.5 || m.cfg.TargetAvailabilityPct != 99 {

@@ -99,6 +99,12 @@ const (
 	// Arg is the number of records (or, for a snapshot install, the
 	// negated base sequence).
 	EvCatchup
+	// EvShed marks an admission-control shed: the serving layer refused
+	// the request before execution; Arg is the Shed* reason code.
+	EvShed
+	// EvBreaker marks a circuit-breaker state transition on partition
+	// Node; Arg is the new Breaker* state code.
+	EvBreaker
 )
 
 // String names the kind for dumps.
@@ -138,18 +144,28 @@ func (k EventKind) String() string {
 		return "promote"
 	case EvCatchup:
 		return "catchup"
+	case EvShed:
+		return "shed"
+	case EvBreaker:
+		return "breaker"
 	default:
 		return fmt.Sprintf("ev(%d)", uint8(k))
 	}
 }
 
-// Arg codes for EvFault and EvRouteDenied.
+// Arg codes for EvFault, EvRouteDenied, EvShed, and EvBreaker.
 const (
 	FaultNodeDown     int64 = 1 // a participant was unreachable
 	FaultMsgLoss      int64 = 2 // a coordination message was lost
 	FaultInDoubtBlock int64 = 3 // a partition held an in-doubt txn
 	RouteErrDown      int64 = 1 // router.ErrPartitionDown
 	RouteErrStale     int64 = 2 // router.ErrStaleLookup
+	RouteErrOverload  int64 = 3 // router.ErrOverload
+	ShedToken         int64 = 1 // token bucket empty
+	ShedQueue         int64 = 2 // worker queue at depth cap
+	BreakerClosed     int64 = 0 // breaker re-closed (healthy)
+	BreakerOpen       int64 = 1 // breaker tripped open
+	BreakerHalfOpen   int64 = 2 // breaker probing
 )
 
 // Event is one flight-recorder entry: fixed-size plain data so the ring

@@ -58,7 +58,33 @@ var (
 	// router's lookup tables were built; routing would consult stale
 	// placements. Call Refresh to rebuild incrementally.
 	ErrStaleLookup = errors.New("router: stale lookup tables")
+	// ErrOverload means the serving layer refused the request before any
+	// placement was consulted: admission control shed it (token bucket
+	// empty, queue full, or a breaker fast-fail). It is transient by
+	// construction — the data is fine, the system is busy — so callers
+	// treat it differently from ErrPartitionDown: back off and retry
+	// against the session's retry budget instead of failing over.
+	ErrOverload = errors.New("router: overload, request shed")
 )
+
+// ErrKind classifies a routing/serving error into its taxonomy bucket:
+// "overload", "partition-down", "stale-lookup", or "" for nil and
+// unrecognized errors. Accounting code switches on the kind instead of
+// chaining errors.Is calls.
+func ErrKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverload):
+		return "overload"
+	case errors.Is(err, ErrPartitionDown):
+		return "partition-down"
+	case errors.Is(err, ErrStaleLookup):
+		return "stale-lookup"
+	default:
+		return ""
+	}
+}
 
 // Mode classifies how a routing decision was reached.
 type Mode uint8

@@ -64,6 +64,8 @@ func (req *Request) traceDecision(d Decision, err error) {
 			code = obs.RouteErrDown
 		case errors.Is(err, ErrStaleLookup):
 			code = obs.RouteErrStale
+		case errors.Is(err, ErrOverload):
+			code = obs.RouteErrOverload
 		}
 		req.Recorder.Record(req.TxnID, obs.EvRouteDenied, -1, 0, req.VT, code)
 		return

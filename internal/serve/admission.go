@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/router"
+)
+
+// Admission control: a token bucket refilled in virtual time at an
+// AIMD-adjusted rate, in front of the worker queue's depth cap. Both
+// shed with a typed error wrapping router.ErrOverload so callers (and
+// the retry budget) can tell "the system is busy, back off" from "the
+// data is unreachable, fail over" (router.ErrPartitionDown).
+//
+// The AIMD guardrail is the SLO feedback loop: after every completed
+// SLOMonitor window the engine calls onWindow — a breached window cuts
+// the admitted rate multiplicatively (shedding earlier, draining
+// queues), a healthy window creeps it back up additively. The rate is
+// clamped to [MinRateTPS, MaxRateTPS] so a pathological stretch cannot
+// drive admission to zero or let it run away.
+
+// errShedToken / errShedQueue are the two shed reasons, both matching
+// errors.Is(err, router.ErrOverload).
+var (
+	errShedToken = fmt.Errorf("serve: admission rate exceeded: %w", router.ErrOverload)
+	errShedQueue = fmt.Errorf("serve: worker queue full: %w", router.ErrOverload)
+)
+
+// admission is the token bucket + AIMD rate controller. Safe for
+// concurrent use (the -race soak hammers it); the engine drives it
+// single-threaded in virtual time.
+type admission struct {
+	mu  sync.Mutex
+	cfg AdmissionConfig
+
+	rate   float64 // current admitted rate, tokens/virtual-second
+	tokens float64
+	last   float64 // virtual time of the last refill
+
+	initial              float64
+	minSeen              float64
+	increases, decreases int
+	shedToken            int
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{
+		cfg:     cfg,
+		rate:    cfg.RateTPS,
+		tokens:  cfg.Burst,
+		initial: cfg.RateTPS,
+		minSeen: cfg.RateTPS,
+	}
+}
+
+// allow refills the bucket to virtual time now and spends one token;
+// an empty bucket sheds (errShedToken).
+func (a *admission) allow(now float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if now > a.last {
+		a.tokens += (now - a.last) * a.rate
+		if a.tokens > a.cfg.Burst {
+			a.tokens = a.cfg.Burst
+		}
+		a.last = now
+	}
+	if a.tokens >= 1 {
+		a.tokens--
+		return nil
+	}
+	a.shedToken++
+	return errShedToken
+}
+
+// onWindow applies the AIMD step for one completed SLO window.
+func (a *admission) onWindow(healthy bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if healthy {
+		if a.rate < a.cfg.MaxRateTPS {
+			a.rate += a.cfg.IncreaseTPS
+			if a.rate > a.cfg.MaxRateTPS {
+				a.rate = a.cfg.MaxRateTPS
+			}
+			a.increases++
+		}
+		return
+	}
+	a.rate *= a.cfg.DecreaseFactor
+	if a.rate < a.cfg.MinRateTPS {
+		a.rate = a.cfg.MinRateTPS
+	}
+	a.decreases++
+	if a.rate < a.minSeen {
+		a.minSeen = a.rate
+	}
+}
+
+// snapshot returns (initial, final, min, increases, decreases).
+func (a *admission) snapshot() (initial, final, min float64, ups, downs int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.initial, a.rate, a.minSeen, a.increases, a.decreases
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Per-partition circuit breaker: the serving layer's *learned* health
+// view. The engine deliberately does not hand the router the injector's
+// perfect fault schedule — a live system never has one. Instead each
+// partition's breaker watches the outcomes of attempts that executed
+// there; when a closed window's error rate or p99 service latency trips
+// the thresholds the breaker opens, the router's health view reports the
+// partition down, and the fallback ladder takes over: reads degrade
+// around it, writes fail fast with ErrPartitionDown instead of burning a
+// worker on the RPC timeout. After the cooldown the breaker admits a
+// bounded number of probes; consecutive successes re-close it, any
+// failure re-opens it.
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	bClosed breakerState = iota
+	bOpen
+	bHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bOpen:
+		return "open"
+	case bHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func (s breakerState) code() int64 {
+	switch s {
+	case bOpen:
+		return obs.BreakerOpen
+	case bHalfOpen:
+		return obs.BreakerHalfOpen
+	default:
+		return obs.BreakerClosed
+	}
+}
+
+// BreakerStats is one breaker's exportable state.
+type BreakerStats struct {
+	// Partition is the partition the breaker guards.
+	Partition int `json:"partition"`
+	// Trips counts closed→open (and half-open→open) transitions.
+	Trips int `json:"trips"`
+	// Probes counts half-open probe attempts admitted.
+	Probes int `json:"probes"`
+	// State is the final state name.
+	State string `json:"state"`
+}
+
+// breaker is one partition's circuit breaker. It is safe for concurrent
+// use; under the single-threaded engine the mutex is uncontended, and
+// the -race soak exercises it from parallel goroutines.
+type breaker struct {
+	mu   sync.Mutex
+	cfg  BreakerConfig
+	part int
+
+	state     breakerState
+	openUntil float64
+
+	// Closed-state tumbling window.
+	win   obs.HDR
+	n     int
+	fails int
+
+	// Half-open probe accounting.
+	probesIssued int
+	probeOK      int
+
+	trips, probes int
+
+	// onTransition, when non-nil, observes every state change (the
+	// engine records an EvBreaker flight event and counts trips).
+	onTransition func(part int, state breakerState, now float64)
+}
+
+func newBreaker(part int, cfg BreakerConfig, onTransition func(int, breakerState, float64)) *breaker {
+	return &breaker{cfg: cfg, part: part, onTransition: onTransition}
+}
+
+func (b *breaker) transition(s breakerState, now float64) {
+	b.state = s
+	if b.onTransition != nil {
+		b.onTransition(b.part, s, now)
+	}
+}
+
+// reject reports whether the partition should be treated as down at
+// virtual time now. An open breaker whose cooldown expired moves to
+// half-open here (lazily, on first query); half-open rejects once its
+// probe quota is issued.
+func (b *breaker) reject(now float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == bOpen && now >= b.openUntil {
+		b.probesIssued, b.probeOK = 0, 0
+		b.transition(bHalfOpen, now)
+	}
+	switch b.state {
+	case bOpen:
+		return true
+	case bHalfOpen:
+		return b.probesIssued >= b.cfg.HalfOpenProbes
+	default:
+		return false
+	}
+}
+
+// tryProbe consumes one half-open probe slot when the breaker is
+// probing; closed breakers pass for free.
+func (b *breaker) tryProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == bHalfOpen && b.probesIssued < b.cfg.HalfOpenProbes {
+		b.probesIssued++
+		b.probes++
+	}
+}
+
+// observe feeds one executed attempt's outcome on this partition: its
+// service latency (worker occupancy, queueing excluded — queueing is
+// admission's problem, the breaker judges the partition itself) and
+// success. Closed windows are judged against the error-rate and p99
+// thresholds; half-open outcomes drive the probe protocol. Outcomes
+// arriving while open (attempts started before the trip) are dropped.
+func (b *breaker) observe(now, latencySec float64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bOpen:
+		return
+	case bHalfOpen:
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.resetWindow()
+			b.transition(bClosed, now)
+		}
+		return
+	}
+	b.win.Observe(int64(latencySec * 1e9))
+	b.n++
+	if !ok {
+		b.fails++
+	}
+	if b.n < b.cfg.Window {
+		return
+	}
+	errRate := float64(b.fails) / float64(b.n)
+	p99 := float64(b.win.Snapshot().P99) / 1e9
+	if errRate >= b.cfg.TripErrorRate || (b.cfg.TripP99Sec > 0 && p99 > b.cfg.TripP99Sec) {
+		b.trip(now)
+		return
+	}
+	b.resetWindow()
+}
+
+// trip opens the breaker (caller holds the lock).
+func (b *breaker) trip(now float64) {
+	b.resetWindow()
+	b.probesIssued, b.probeOK = 0, 0
+	b.openUntil = now + b.cfg.CooldownSec
+	b.trips++
+	b.transition(bOpen, now)
+}
+
+func (b *breaker) resetWindow() {
+	b.win.Reset()
+	b.n, b.fails = 0, 0
+}
+
+// stats snapshots the breaker for the report.
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Partition: b.part,
+		Trips:     b.trips,
+		Probes:    b.probes,
+		State:     b.state.String(),
+	}
+}
+
+// breakerHealth adapts the breaker set to faults.Health at one virtual
+// instant: the router consults it per routing request, so an open
+// breaker steers reads to the fallback ladder and fails writes fast.
+type breakerHealth struct {
+	brs []*breaker
+	now float64
+}
+
+func (h breakerHealth) Down(node int) bool {
+	if node < 0 || node >= len(h.brs) {
+		return false
+	}
+	return h.brs[node].reject(h.now)
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func testBreakerCfg() BreakerConfig {
+	return BreakerConfig{
+		Window:         8,
+		TripErrorRate:  0.5,
+		TripP99Sec:     0.025,
+		CooldownSec:    0.25,
+		HalfOpenProbes: 2,
+	}
+}
+
+// feed pushes n outcomes with the given success flag and latency.
+func feed(b *breaker, now float64, n int, latency float64, ok bool) {
+	for i := 0; i < n; i++ {
+		b.observe(now, latency, ok)
+	}
+}
+
+// TestBreakerTripsOnErrorRate: a closed window whose failure fraction
+// reaches TripErrorRate opens the breaker; the partition rejects until
+// the cooldown expires.
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	var transitions []breakerState
+	b := newBreaker(0, testBreakerCfg(), func(_ int, st breakerState, _ float64) {
+		transitions = append(transitions, st)
+	})
+	if b.reject(0) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	feed(b, 1.0, 4, 0.001, true)
+	feed(b, 1.0, 3, 0.001, false)
+	if b.reject(1.0) {
+		t.Fatal("window not full yet: breaker must stay closed")
+	}
+	b.observe(1.0, 0.001, false) // 8th outcome: 4/8 failed = trip
+	if !b.reject(1.0) {
+		t.Fatal("error rate 0.5 must trip the breaker")
+	}
+	if st := b.stats(); st.Trips != 1 || st.State != "open" {
+		t.Fatalf("stats after trip: %+v", st)
+	}
+	if len(transitions) != 1 || transitions[0] != bOpen {
+		t.Fatalf("transitions = %v, want [open]", transitions)
+	}
+	// Still inside the cooldown: rejecting, no probe admitted.
+	if !b.reject(1.0 + 0.24) {
+		t.Fatal("open breaker must reject inside cooldown")
+	}
+}
+
+// TestBreakerTripsOnP99: a window can trip on tail latency alone — zero
+// errors, but p99 service latency above TripP99Sec.
+func TestBreakerTripsOnP99(t *testing.T) {
+	b := newBreaker(0, testBreakerCfg(), nil)
+	feed(b, 0, 8, 0.050, true) // all successes, all slow
+	if !b.reject(0) {
+		t.Fatal("p99 above threshold must trip the breaker")
+	}
+	if b.stats().Trips != 1 {
+		t.Fatalf("trips = %d, want 1", b.stats().Trips)
+	}
+}
+
+// TestBreakerHealthyWindowStaysClosed: a clean full window resets and
+// the breaker stays closed indefinitely.
+func TestBreakerHealthyWindowStaysClosed(t *testing.T) {
+	b := newBreaker(0, testBreakerCfg(), nil)
+	for w := 0; w < 5; w++ {
+		feed(b, float64(w), 8, 0.001, true)
+		if b.reject(float64(w)) {
+			t.Fatalf("window %d: healthy breaker must stay closed", w)
+		}
+	}
+	if b.n != 0 {
+		t.Fatalf("window must reset after evaluation, n = %d", b.n)
+	}
+}
+
+// TestBreakerHalfOpenProbeProtocol: after the cooldown the breaker
+// admits exactly HalfOpenProbes probes; that many consecutive successes
+// re-close it.
+func TestBreakerHalfOpenProbeProtocol(t *testing.T) {
+	var transitions []breakerState
+	b := newBreaker(3, testBreakerCfg(), func(part int, st breakerState, _ float64) {
+		if part != 3 {
+			t.Fatalf("transition for partition %d, want 3", part)
+		}
+		transitions = append(transitions, st)
+	})
+	feed(b, 1.0, 8, 0.001, false) // trip at t=1, cooldown until 1.25
+	if !b.reject(1.1) {
+		t.Fatal("must reject during cooldown")
+	}
+	// Cooldown expired: the first health query moves open → half-open and
+	// admits probes up to the quota.
+	if b.reject(1.3) {
+		t.Fatal("half-open breaker with probe quota must admit")
+	}
+	b.tryProbe()
+	if b.reject(1.3) {
+		t.Fatal("one probe issued of two: must still admit")
+	}
+	b.tryProbe()
+	if !b.reject(1.3) {
+		t.Fatal("probe quota exhausted: half-open must reject until outcomes arrive")
+	}
+	// Both probes succeed → re-close.
+	b.observe(1.35, 0.001, true)
+	b.observe(1.36, 0.001, true)
+	if b.reject(1.4) {
+		t.Fatal("successful probes must re-close the breaker")
+	}
+	st := b.stats()
+	if st.State != "closed" || st.Trips != 1 || st.Probes != 2 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	want := []breakerState{bOpen, bHalfOpen, bClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBreakerReopensOnProbeFailure: any half-open probe failure re-trips
+// immediately and restarts the cooldown.
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b := newBreaker(0, testBreakerCfg(), nil)
+	feed(b, 1.0, 8, 0.001, false) // trip #1
+	if b.reject(1.3) {            // → half-open
+		t.Fatal("half-open must admit a probe")
+	}
+	b.tryProbe()
+	b.observe(1.31, 0.001, false) // probe fails → trip #2
+	if !b.reject(1.31) {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if got := b.stats().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// The new cooldown starts at the re-trip.
+	if !b.reject(1.5) {
+		t.Fatal("must reject inside the restarted cooldown")
+	}
+	if b.reject(1.31 + 0.26) {
+		t.Fatal("after the restarted cooldown the breaker must probe again")
+	}
+}
+
+// TestBreakerDropsOutcomesWhileOpen: outcomes of attempts that started
+// before the trip arrive while open and must not corrupt the window.
+func TestBreakerDropsOutcomesWhileOpen(t *testing.T) {
+	b := newBreaker(0, testBreakerCfg(), nil)
+	feed(b, 1.0, 8, 0.001, false) // trip
+	feed(b, 1.1, 20, 0.001, true) // stragglers while open: dropped
+	if b.n != 0 || b.fails != 0 {
+		t.Fatalf("open breaker must drop outcomes: n=%d fails=%d", b.n, b.fails)
+	}
+	if !b.reject(1.1) {
+		t.Fatal("stragglers must not re-close an open breaker")
+	}
+}
+
+// TestBreakerHealthAdapter: breakerHealth maps partition ids to their
+// breakers and treats out-of-range nodes as up.
+func TestBreakerHealthAdapter(t *testing.T) {
+	cfg := testBreakerCfg()
+	brs := []*breaker{newBreaker(0, cfg, nil), newBreaker(1, cfg, nil)}
+	feed(brs[1], 1.0, 8, 0.001, false) // trip partition 1
+	h := breakerHealth{brs: brs, now: 1.0}
+	if h.Down(0) {
+		t.Error("partition 0 is healthy")
+	}
+	if !h.Down(1) {
+		t.Error("partition 1 breaker is open: must report down")
+	}
+	if h.Down(-1) || h.Down(2) {
+		t.Error("out-of-range nodes must report up")
+	}
+}
+
+// TestBreakerConcurrencySoak hammers one breaker and one admission
+// controller from parallel goroutines so the -race run exercises their
+// locking. The virtual-time engine drives them single-threaded; this
+// pins that the components themselves are concurrency-safe.
+func TestBreakerConcurrencySoak(t *testing.T) {
+	b := newBreaker(0, testBreakerCfg(), func(int, breakerState, float64) {})
+	adm := newAdmission(AdmissionConfig{Enabled: true}.withDefaults(1000))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				now := float64(g*2000+i) * 1e-4
+				switch i % 5 {
+				case 0:
+					b.reject(now)
+				case 1:
+					b.tryProbe()
+				case 2:
+					b.observe(now, 0.001*float64(i%50), i%3 == 0)
+				case 3:
+					adm.allow(now)
+				default:
+					adm.onWindow(i%2 == 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.stats()
+	adm.snapshot()
+}

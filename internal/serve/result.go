@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Result is the outcome of one serving run. Every field is plain
+// deterministic data — virtual time only, no wall clock, no maps except
+// via sorted marshaling — so a (config, seed) pair marshals to
+// byte-identical JSON across runs: the contract the CI serve job diffs.
+type Result struct {
+	Scenario   string  `json:"scenario"`
+	Seed       int64   `json:"seed"`
+	Nodes      int     `json:"nodes"`
+	Workers    int     `json:"workers"`
+	Arrival    string  `json:"arrival"`
+	OfferedTPS float64 `json:"offered_tps"`
+	// CapacityTPS is the analytic saturation estimate the offered rate
+	// (and the admission rate) default against.
+	CapacityTPS float64 `json:"capacity_tps"`
+	DurationSec float64 `json:"duration_sec"`
+	DeadlineSec float64 `json:"deadline_sec"`
+	AdmissionOn bool    `json:"admission_on"`
+
+	// Final-outcome breakdown; Offered = Committed + Shed + Denied +
+	// Failed + Expired. Shed is admission refusals (token bucket or
+	// queue cap — the request never executed, see SLO accounting below);
+	// Denied is breaker fast-fails that exhausted their retries; Failed
+	// is fault give-ups; Expired is requests that blew their deadline
+	// while queued or between retries.
+	Offered     int `json:"offered"`
+	Committed   int `json:"committed"`
+	GoodCommits int `json:"good_commits"`
+	Shed        int `json:"shed"`
+	Denied      int `json:"denied"`
+	Failed      int `json:"failed"`
+	Expired     int `json:"expired"`
+
+	// Committed-set classification by routing decision.
+	Local        int `json:"local"`
+	Distributed  int `json:"distributed"`
+	ReplicaReads int `json:"replica_reads"`
+	DegradedOK   int `json:"degraded_reads"`
+
+	// Attempt-level accounting: Attempts counts execution attempts
+	// (routing included), Retries backoff re-admissions, ShedToken /
+	// ShedQueue the admission refusal events (a request can shed more
+	// than once across retries), BreakerFastFails router denials under
+	// an open breaker, FaultTimeouts / MsgLosses executed attempts that
+	// failed, QueueExpired deadline drops at dispatch.
+	Attempts         int `json:"attempts"`
+	Retries          int `json:"retries"`
+	ShedToken        int `json:"shed_token"`
+	ShedQueue        int `json:"shed_queue"`
+	BreakerFastFails int `json:"breaker_fast_fails"`
+	FaultTimeouts    int `json:"fault_timeouts"`
+	MsgLosses        int `json:"msg_losses"`
+	QueueExpired     int `json:"queue_expired"`
+
+	// ThroughputTPS is committed / makespan; GoodputTPS counts only
+	// commits inside their deadline — the number overload protection
+	// defends.
+	ThroughputTPS float64 `json:"throughput_tps"`
+	GoodputTPS    float64 `json:"goodput_tps"`
+
+	// Latency quantiles (virtual seconds) over every *executed* outcome
+	// — commits, fault failures, expirations. Admission sheds are
+	// refusals, not executions: they carry no latency and are excluded
+	// here (they count against goodput and availability instead).
+	LatencyP50  float64 `json:"latency_p50_sec"`
+	LatencyP99  float64 `json:"latency_p99_sec"`
+	LatencyP999 float64 `json:"latency_p999_sec"`
+
+	// SLO is the tumbling-window evaluation the AIMD guardrail consumed,
+	// fed with executed outcomes only (same accounting as the latency
+	// quantiles).
+	SLO obs.SLOStatus `json:"slo"`
+
+	// AIMD trajectory summary: the admitted rate's initial/final/min
+	// values and how many windows stepped it each way.
+	AdmitRateInitial float64 `json:"admit_rate_initial_tps"`
+	AdmitRateFinal   float64 `json:"admit_rate_final_tps"`
+	AdmitRateMin     float64 `json:"admit_rate_min_tps"`
+	RateIncreases    int     `json:"rate_increases"`
+	RateDecreases    int     `json:"rate_decreases"`
+
+	// Breakers is the per-partition breaker outcome, ascending.
+	Breakers []BreakerStats `json:"breakers"`
+	// BreakerTrips totals trips across partitions.
+	BreakerTrips int `json:"breaker_trips"`
+
+	// MakespanSec is the virtual time of the last completion (drain
+	// included); WALBytes the durable log volume; StateDigest a fold of
+	// the per-table store digests (pins that execution was real and
+	// deterministic).
+	MakespanSec float64 `json:"makespan_sec"`
+	WALBytes    int64   `json:"wal_bytes"`
+	StateDigest string  `json:"state_digest"`
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	adm := "off"
+	if r.AdmissionOn {
+		adm = "on"
+	}
+	return fmt.Sprintf("serve %q seed=%d admission=%s: %.0f tps goodput (%.0f offered, %.0f capacity), "+
+		"%d/%d committed, %d shed, %d denied, %d failed, %d expired, "+
+		"p99 %.4fs p999 %.4fs, %d breaker trips",
+		r.Scenario, r.Seed, adm, r.GoodputTPS, r.OfferedTPS, r.CapacityTPS,
+		r.Committed, r.Offered, r.Shed, r.Denied, r.Failed, r.Expired,
+		r.LatencyP99, r.LatencyP999, r.BreakerTrips)
+}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/faults"
+	"repro/internal/fixture"
+	"repro/internal/partition"
+	"repro/internal/sqlparse"
+	"repro/internal/trace"
+)
+
+// serveSolution is the known-optimal CustInfo partitioning: everything
+// co-located by customer, so the fixture workload is all-local.
+func serveSolution(k int) *partition.Solution {
+	sol := partition.NewSolution("jecb", k)
+	sol.Set(partition.NewByPath("TRADE", fixture.TradePath(), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("HOLDING_SUMMARY", fixture.HSPath(), partition.NewHash(k)))
+	sol.Set(partition.NewByPath("CUSTOMER_ACCOUNT", fixture.CAPath(), partition.NewHash(k)))
+	return sol
+}
+
+func serveProcs() []*sqlparse.Procedure {
+	return []*sqlparse.Procedure{fixture.CustInfoProcedure(), fixture.TradeUpdateProcedure()}
+}
+
+func serveFixture() (*db.DB, *partition.Solution, *trace.Trace) {
+	d := fixture.CustInfoDB()
+	return d, serveSolution(2), fixture.MixedTrace(d, 300, 2)
+}
+
+func mustRun(t *testing.T, d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(context.Background(), d, sol, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkOutcomes pins the final-outcome partition: every offered request
+// lands in exactly one bucket.
+func checkOutcomes(t *testing.T, r *Result) {
+	t.Helper()
+	if got := r.Committed + r.Shed + r.Denied + r.Failed + r.Expired; got != r.Offered {
+		t.Fatalf("outcome partition broken: %d buckets for %d offered: %+v", got, r.Offered, r)
+	}
+	if r.GoodCommits > r.Committed {
+		t.Fatalf("goodput exceeds throughput: %+v", r)
+	}
+}
+
+// TestServeCapacityEstimate: the all-local fixture workload has mean
+// work exactly LocalWork, so capacity = workers × NodeCapacity.
+func TestServeCapacityEstimate(t *testing.T) {
+	d, sol, tr := serveFixture()
+	got, err := EstimateCapacityTPS(d, sol, tr, CostConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 7999 || got > 8001 {
+		t.Fatalf("capacity = %v tps, want 4 workers × 2000 work/s ÷ 1 work/txn = 8000", got)
+	}
+	if _, err := EstimateCapacityTPS(d, sol, &trace.Trace{}, CostConfig{}, 4); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+// TestServeDeterministicReplay: the tentpole contract — a (config, seed)
+// pair produces byte-identical JSON reports across runs, WAL-backed and
+// under an adversarial fault scenario; a different seed diverges.
+func TestServeDeterministicReplay(t *testing.T) {
+	d, sol, tr := serveFixture()
+	sc, err := faults.Builtin("flaky-network", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runJSON := func(seed int64) []byte {
+		r := mustRun(t, d, sol, tr, Config{
+			Load:       LoadConfig{DurationSec: 0.5},
+			Admission:  AdmissionConfig{Enabled: true},
+			Procedures: serveProcs(),
+			Scenario:   sc,
+			Seed:       seed,
+			WALDir:     dir,
+		})
+		checkOutcomes(t, r)
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := runJSON(7), runJSON(7)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if bytes.Equal(a, runJSON(8)) {
+		t.Fatal("different seeds must produce different runs")
+	}
+	var r Result
+	if err := json.Unmarshal(a, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.WALBytes == 0 || r.StateDigest == "" {
+		t.Fatalf("WAL-backed run must log and digest state: %+v", r)
+	}
+	if r.Committed == 0 {
+		t.Fatal("flaky network at 1× load must still commit")
+	}
+	if !strings.Contains(r.String(), "goodput") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// TestServeOverloadProtectionVsCollapse is the PR's headline behavior:
+// at 2× saturating offered load, admission control sheds excess and
+// keeps the executed tail bounded; without it the queue grows without
+// bound and the tail collapses into deadline expirations.
+func TestServeOverloadProtectionVsCollapse(t *testing.T) {
+	d, sol, tr := serveFixture()
+	base := Config{
+		Load:       LoadConfig{LoadFactor: 2, DurationSec: 1},
+		Procedures: serveProcs(),
+		Seed:       3,
+	}
+	off := base
+	off.Admission = AdmissionConfig{Enabled: false}
+	ro := mustRun(t, d, sol, tr, off)
+	checkOutcomes(t, ro)
+
+	on := base
+	on.Admission = AdmissionConfig{Enabled: true}
+	rn := mustRun(t, d, sol, tr, on)
+	checkOutcomes(t, rn)
+
+	// Unprotected: nothing is refused, so the queue saturates and nearly
+	// every request rides it to the deadline wall — a large fraction
+	// expires unexecuted, and the commits that do land arrive too late to
+	// count as goodput. (Deadline-aware dispatch drops expired requests
+	// promptly, so their recorded latency is deadline + ε, not seconds:
+	// the collapse signal is the goodput cliff and the expired fraction.)
+	if ro.Shed != 0 || ro.Denied != 0 {
+		t.Fatalf("admission off must not shed: %+v", ro)
+	}
+	if ro.Expired < ro.Offered/4 {
+		t.Fatalf("unprotected 2× overload must expire a large fraction: %d/%d", ro.Expired, ro.Offered)
+	}
+	if ro.LatencyP999 < 0.05 {
+		t.Fatalf("unprotected executed tail must hit the deadline wall: p999 = %.4fs", ro.LatencyP999)
+	}
+	if ro.GoodputTPS > ro.CapacityTPS/4 {
+		t.Fatalf("unprotected goodput must collapse: %.0f of %.0f capacity", ro.GoodputTPS, ro.CapacityTPS)
+	}
+
+	// Protected: the excess is refused up front, nothing expires, the
+	// executed tail stays below the deadline, and goodput holds near
+	// capacity — the ISSUE's ≥80%-of-peak acceptance bar.
+	if rn.Shed == 0 || rn.ShedToken+rn.ShedQueue == 0 {
+		t.Fatalf("admission on at 2× must shed with attributed reasons: %+v", rn)
+	}
+	if rn.Expired != 0 {
+		t.Fatalf("admission on must keep the queue short enough that nothing expires: %+v", rn)
+	}
+	if rn.LatencyP999 >= 0.05 {
+		t.Fatalf("protected p999 %.4fs must stay below the deadline", rn.LatencyP999)
+	}
+	if rn.GoodputTPS < 0.8*rn.CapacityTPS {
+		t.Fatalf("protected goodput %.0f must hold ≥80%% of capacity %.0f",
+			rn.GoodputTPS, rn.CapacityTPS)
+	}
+	if rn.GoodputTPS <= 2*ro.GoodputTPS {
+		t.Fatalf("protected goodput %.0f must far exceed unprotected %.0f",
+			rn.GoodputTPS, ro.GoodputTPS)
+	}
+	if rn.AdmitRateInitial <= 0 || rn.AdmitRateFinal <= 0 {
+		t.Fatalf("AIMD trajectory missing: %+v", rn)
+	}
+}
+
+// TestServeClosedLoop: closed-loop sessions self-limit (natural
+// backpressure): with sessions ≈ a few per worker everything admitted
+// commits inside its deadline.
+func TestServeClosedLoop(t *testing.T) {
+	d, sol, tr := serveFixture()
+	r := mustRun(t, d, sol, tr, Config{
+		Load:       LoadConfig{Arrival: ArrivalClosed, Sessions: 16, DurationSec: 0.5},
+		Admission:  AdmissionConfig{Enabled: true},
+		Procedures: serveProcs(),
+		Seed:       5,
+	})
+	checkOutcomes(t, r)
+	if r.Arrival != ArrivalClosed {
+		t.Fatalf("arrival = %q", r.Arrival)
+	}
+	if r.Offered == 0 {
+		t.Fatal("closed loop generated nothing")
+	}
+	if r.Committed != r.Offered {
+		t.Fatalf("closed loop at 16 sessions must commit everything: %+v", r)
+	}
+	if r.GoodCommits != r.Committed {
+		t.Fatalf("closed-loop commits must make their deadlines: %+v", r)
+	}
+}
+
+// TestServeBurstArrival: the bursty process drives instantaneous rate
+// past the admitted rate during each burst, so the token bucket sheds
+// even though the mean offered load is 1× capacity.
+func TestServeBurstArrival(t *testing.T) {
+	d, sol, tr := serveFixture()
+	r := mustRun(t, d, sol, tr, Config{
+		Load:       LoadConfig{Arrival: ArrivalBurst, DurationSec: 1},
+		Admission:  AdmissionConfig{Enabled: true},
+		Procedures: serveProcs(),
+		Seed:       11,
+	})
+	checkOutcomes(t, r)
+	if r.ShedToken == 0 {
+		t.Fatalf("bursts past the token rate must shed: %+v", r)
+	}
+	if r.Committed == 0 {
+		t.Fatal("burst run must still commit")
+	}
+}
+
+// TestServeBreakerTripsUnderCrash: a mid-run crash is discovered the
+// slow way (RPC timeouts burn workers), trips the crashed partition's
+// breaker, converts further attempts into fast-fails, and the breaker
+// probes its way back closed after recovery. The SLO guardrail reacts
+// by stepping the admitted rate down at least once.
+func TestServeBreakerTripsUnderCrash(t *testing.T) {
+	d, sol, tr := serveFixture()
+	sc := &faults.Scenario{
+		Name:    "mid-crash",
+		Crashes: []faults.Window{{Node: 0, Start: 0.5, End: 1.2}},
+	}
+	r := mustRun(t, d, sol, tr, Config{
+		Load:       LoadConfig{DurationSec: 2},
+		Admission:  AdmissionConfig{Enabled: true},
+		Procedures: serveProcs(),
+		Scenario:   sc,
+		Seed:       1,
+	})
+	checkOutcomes(t, r)
+	if r.FaultTimeouts == 0 {
+		t.Fatalf("crash must first be discovered via RPC timeouts: %+v", r)
+	}
+	if r.BreakerTrips == 0 || r.Breakers[0].Trips == 0 {
+		t.Fatalf("partition 0 breaker must trip: %+v", r.Breakers)
+	}
+	if r.Breakers[1].Trips != 0 {
+		t.Fatalf("healthy partition must not trip: %+v", r.Breakers)
+	}
+	if r.BreakerFastFails == 0 {
+		t.Fatalf("open breaker must convert attempts into fast-fails: %+v", r)
+	}
+	if r.Breakers[0].Probes == 0 || r.Breakers[0].State != "closed" {
+		t.Fatalf("breaker must probe its way back closed after recovery: %+v", r.Breakers[0])
+	}
+	if r.Committed == 0 || r.Denied+r.Failed == 0 {
+		t.Fatalf("crash window outcomes: %+v", r)
+	}
+	if r.RateDecreases == 0 {
+		t.Fatalf("breached SLO windows during the crash must step the rate down: %+v", r)
+	}
+}
+
+// TestServeReplicatedReadsFailOver: with every table replicated, reads
+// against the crashed node's breaker fail over to a healthy replica
+// (ModeReplica), so commits keep flowing through the outage.
+func TestServeReplicatedReadsFailOver(t *testing.T) {
+	d := fixture.CustInfoDB()
+	sol := partition.NewSolution("rep", 2)
+	for _, tbl := range []string{"TRADE", "HOLDING_SUMMARY", "CUSTOMER_ACCOUNT"} {
+		sol.Set(partition.NewReplicated(tbl))
+	}
+	tr := fixture.CustInfoTrace(d, 200, 2)
+	sc := &faults.Scenario{
+		Name:    "one-down",
+		Crashes: []faults.Window{{Node: 0, Start: 0.2, End: 1.0}},
+	}
+	// The router broadcasts reads of an all-replicated solution across
+	// both partitions, so real per-read work is ~6 units, not the
+	// estimator's 1: offer 0.125× so the broadcast path can carry it.
+	r := mustRun(t, d, sol, tr, Config{
+		Load:       LoadConfig{LoadFactor: 0.125, DurationSec: 1.5},
+		Admission:  AdmissionConfig{Enabled: true},
+		Procedures: []*sqlparse.Procedure{fixture.CustInfoProcedure()},
+		Scenario:   sc,
+		Seed:       1,
+	})
+	checkOutcomes(t, r)
+	if r.ReplicaReads == 0 {
+		t.Fatalf("reads must fail over to the healthy replica: %+v", r)
+	}
+	if r.Committed < r.Offered*3/4 {
+		t.Fatalf("replica failover must keep commits flowing: %d/%d", r.Committed, r.Offered)
+	}
+	if r.Denied != 0 {
+		t.Fatalf("replicated reads always have a healthy replica, never denied: %+v", r)
+	}
+	// Probes issued against the still-crashed node re-trip the breaker:
+	// the probe protocol runs for real mid-outage.
+	if r.Breakers[0].Trips == 0 || r.Breakers[0].State != "closed" {
+		t.Fatalf("crashed partition's breaker must trip and recover: %+v", r.Breakers[0])
+	}
+}
+
+// TestServeConfigErrors: the config surface rejects nonsense up front.
+func TestServeConfigErrors(t *testing.T) {
+	d, sol, tr := serveFixture()
+	if _, err := Run(context.Background(), d, sol, tr, Config{
+		Load: LoadConfig{Arrival: "lumpy"},
+	}); err == nil || !strings.Contains(err.Error(), "unknown arrival") {
+		t.Fatalf("unknown arrival: err = %v", err)
+	}
+	if _, err := Run(context.Background(), d, sol, &trace.Trace{}, Config{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+// TestVTDeadline: the context helpers round-trip and absence is
+// distinguishable.
+func TestVTDeadline(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := VTDeadline(ctx); ok {
+		t.Fatal("bare context must have no virtual deadline")
+	}
+	ctx = WithVTDeadline(ctx, 1.25)
+	vt, ok := VTDeadline(ctx)
+	if !ok || vt != 1.25 {
+		t.Fatalf("deadline = %v, %v", vt, ok)
+	}
+}

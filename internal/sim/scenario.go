@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/repl"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/twopc"
 )
@@ -62,6 +63,14 @@ const (
 	// (async or quorum ack), and a heartbeat failure detector promotes the
 	// most-caught-up backup when the primary crashes.
 	ModeReplicated
+	// ModeServe is the live serving engine: a seeded load generator
+	// (closed/open-loop sessions, Poisson/burst arrivals) driving
+	// worker-pool execution through the router into the partition stores,
+	// wrapped in overload protection — admission control, per-partition
+	// circuit breakers, deadlines with retry budgets, and an SLO-driven
+	// AIMD guardrail. Unlike the durable modes, WALDir is optional here:
+	// empty runs the stores memory-only.
+	ModeServe
 )
 
 // String names the mode.
@@ -83,6 +92,8 @@ func (m Mode) String() string {
 		return "twopc"
 	case ModeReplicated:
 		return "replicated"
+	case ModeServe:
+		return "serve"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -115,6 +126,10 @@ type Scenario struct {
 	// Seed, WALDir and Recorder fields are filled from the shared
 	// scenario fields below.
 	Repl repl.Config
+	// Serve parameterizes ModeServe. As with TwoPC/Repl, its Scenario,
+	// Seed, WALDir and Recorder fields are filled from the shared
+	// scenario fields below (WALDir may stay empty: memory-only stores).
+	Serve serve.Config
 	// Drift parameterizes the three drift modes.
 	Drift DriftConfig
 
@@ -144,6 +159,7 @@ type RunResult struct {
 	Drift   *DriftResult
 	TwoPC   *twopc.Result
 	Repl    *repl.Result
+	Serve   *serve.Result
 }
 
 // String renders the selected mode's result summary.
@@ -161,6 +177,8 @@ func (r *RunResult) String() string {
 		return r.TwoPC.String()
 	case r.Repl != nil:
 		return r.Repl.String()
+	case r.Serve != nil:
+		return r.Serve.String()
 	default:
 		return r.Mode.String() + ": no result"
 	}
@@ -203,6 +221,9 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 	}
 	if sc.Repl.Recorder == nil {
 		sc.Repl.Recorder = sc.Recorder
+	}
+	if sc.Serve.Recorder == nil {
+		sc.Serve.Recorder = sc.Recorder
 	}
 	out := &RunResult{Mode: sc.Mode}
 	switch sc.Mode {
@@ -255,6 +276,16 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 			return nil, err
 		}
 		out.Repl = res
+	case ModeServe:
+		cfg := sc.Serve
+		cfg.Scenario = sc.faults()
+		cfg.Seed = sc.Seed
+		cfg.WALDir = sc.WALDir // optional: empty keeps the stores memory-only
+		res, err := serve.Run(ctx, sc.DB, sc.Solution, sc.Trace, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Serve = res
 	case ModeDriftStatic:
 		res, err := runDrift(ctx, sc.DB, sc.Solution, sc.Trace, sc.Drift, modeStatic, nil)
 		if err != nil {
