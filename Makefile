@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-export experiments chaos drift recover twopc repl serve fuzz clean
+.PHONY: all build test verify bench bench-export bigtrace experiments chaos drift recover twopc repl serve fuzz clean
 
 all: build
 
@@ -36,11 +36,22 @@ bench:
 # distributed fractions per controller, movement, swaps),
 # BENCH_parallel.json, the parallel-search record (pipeline wall-clock at
 # Parallelism 1 vs 8, the speedup ratio, the host CPU count, and the
-# cross-worker-count solution byte-identity check), and BENCH_serve.json,
+# cross-worker-count solution byte-identity check), BENCH_serve.json,
 # the overload-protection record (goodput and executed-tail p99/p999 at
-# 1x and 2x offered load, admission on vs off).
+# 1x and 2x offered load, admission on vs off), and BENCH_mem.json, the
+# memory record (evaluator allocs/op on the indexed vs legacy path, and
+# the 10M-tuple-access streaming run's peak RSS against the in-memory
+# bound; BENCH_MEM_ACCESSES scales the big trace down for quick runs).
 bench-export:
-	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport|TestParallelBenchExport|TestServeExport' -v .
+	BENCH_EXPORT=1 $(GO) test -run 'TestBenchExport|TestDriftExport|TestParallelBenchExport|TestServeExport|TestMemBenchExport' -timeout 30m -v .
+
+# bigtrace demonstrates the streaming trace path end to end: generate a
+# columnar trace file, then partition and evaluate it with cmd/jecb
+# without ever materializing the full trace (training reads the leading
+# -train fraction; evaluation and routing stream chunk-by-chunk).
+bigtrace:
+	$(GO) run ./cmd/tracegen -benchmark tpcc -scale 8 -txns 200000 -format columnar -out /tmp/jecb-big.col -db-out /tmp/jecb-big.snap
+	$(GO) run ./cmd/jecb -benchmark tpcc -scale 8 -k 8 -train 0.02 -trace-in /tmp/jecb-big.col -db-in /tmp/jecb-big.snap
 
 # experiments regenerates the paper's tables and figures at reduced
 # scales, with the phase trace and a metrics artifact.
@@ -124,9 +135,10 @@ serve:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/sqlparse/
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRead -fuzztime=20s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzColumnarRoundTrip -fuzztime=20s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=20s ./internal/faults/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=20s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/transport/
 
 clean:
-	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json BENCH_serve.json experiments_obs.json
+	rm -f BENCH_obs.json BENCH_drift.json BENCH_parallel.json BENCH_serve.json BENCH_mem.json experiments_obs.json

@@ -57,6 +57,7 @@ func TestBenchExport(t *testing.T) {
 	}{
 		{"PathEval", BenchmarkPathEval},
 		{"Evaluate", BenchmarkEvaluate},
+		{"EvaluateLegacy", BenchmarkEvaluateLegacy},
 		{"GraphPartition", BenchmarkGraphPartition},
 		{"ValueHash", BenchmarkValueHash},
 		{"HDRObserve", BenchmarkHDRObserve},

@@ -5,6 +5,17 @@
 //
 //	jecb -benchmark tpce -algo jecb -k 8 -txns 4000
 //
+// Trace input (-trace-in): instead of generating a trace, load one from
+// disk. The format is auto-detected: a file starting with the columnar
+// magic streams chunk-by-chunk (training materializes only the leading
+// -train fraction; evaluation never holds more than one chunk), anything
+// else is read as JSON lines and split like a generated trace. -txns is
+// ignored when -trace-in is set. A trace references rows its own
+// transactions created mid-run: pass the tracegen -db-out snapshot via
+// -db-in to restore them exactly, or accepted keys are reconstructed as
+// stub rows (PK columns only — join paths through non-key FK columns of
+// those rows stop resolving, so prefer -db-in).
+//
 // Observability flags:
 //
 //	-metrics out.json   dump the obs metrics registry as JSON on exit
@@ -173,7 +184,9 @@ func main() {
 		algo        = flag.String("algo", "jecb", "partitioner: jecb, schism, horticulture")
 		k           = flag.Int("k", 8, "number of partitions")
 		scale       = flag.Int("scale", 0, "benchmark scale (0 = default)")
-		txns        = flag.Int("txns", 4000, "transactions to trace")
+		txns        = flag.Int("txns", 4000, "transactions to trace (ignored with -trace-in)")
+		traceIn     = flag.String("trace-in", "", "load the trace from this file instead of generating one (columnar files stream; jsonl loads whole)")
+		dbIn        = flag.String("db-in", "", "with -trace-in: load the database rows from this snapshot (tracegen -db-out) instead of reconstructing trace-created rows as stubs")
 		trainFrac   = flag.Float64("train", 0.5, "training fraction of the trace")
 		seed        = flag.Int64("seed", 1, "random seed")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for the JECB search (0 = GOMAXPROCS); results are identical for any value")
@@ -219,7 +232,7 @@ func main() {
 		arrival: *serveArrival, admission: *serveAdmission, seed: *serveSeed,
 		scenario: *chaosScenario, walDir: *walDir}
 	if err := realMain(*benchmark, *algo, *k, *scale, *txns, *trainFrac, *seed, *parallelism,
-		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do, fo, so); err != nil {
+		*verbose, *out, *metricsOut, *traceReport, *debugAddr, co, do, fo, so, *traceIn, *dbIn); err != nil {
 		fmt.Fprintln(os.Stderr, "jecb:", err)
 		os.Exit(1)
 	}
@@ -228,7 +241,7 @@ func main() {
 // realMain is the single exit path: it wires observability around run,
 // saves artifacts from run's return value, and reports errors upward.
 func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int,
-	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts, fo flightOpts, so serveOpts) error {
+	verbose bool, out, metricsOut string, traceReport bool, debugAddr string, co chaosOpts, do driftOpts, fo flightOpts, so serveOpts, traceIn, dbIn string) error {
 	if debugAddr != "" {
 		obs.PublishExpvar()
 		srv, err := obs.ServeDebug(debugAddr, obs.Default)
@@ -249,7 +262,7 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 		rec = obs.NewRecorder(fo.cap)
 		ctx = obs.WithRecorder(ctx, rec)
 	}
-	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so)
+	sol, err := runRecovered(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so, traceIn, dbIn)
 	tr.Finish()
 	// Dump BEFORE the error check: the flight recorder is the post-mortem
 	// artifact, so a failed run (oracle divergence, panic) must still write.
@@ -299,19 +312,19 @@ func realMain(benchmark, algo string, k, scale, txns int, trainFrac float64, see
 // surface as an error with a stack trace instead of crashing the process
 // past the deferred artifact/metrics writers.
 func runRecovered(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64,
-	seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts) (sol *partition.Solution, err error) {
+	seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts, traceIn, dbIn string) (sol *partition.Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol = nil
 			err = fmt.Errorf("internal error: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so)
+	return run(ctx, benchmark, algo, k, scale, txns, trainFrac, seed, parallelism, verbose, co, do, so, traceIn, dbIn)
 }
 
 // run executes the pipeline — load, trace, partition, evaluate, route,
 // and optionally the chaos replay — and returns the computed solution.
-func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts) (*partition.Solution, error) {
+func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainFrac float64, seed int64, parallelism int, verbose bool, co chaosOpts, do driftOpts, so serveOpts, traceIn, dbIn string) (*partition.Solution, error) {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
@@ -326,13 +339,64 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 	if err != nil {
 		return nil, err
 	}
+	if dbIn != "" {
+		if traceIn == "" {
+			return nil, fmt.Errorf("-db-in requires -trace-in (the snapshot replaces the trace's row universe)")
+		}
+		data, err := os.ReadFile(dbIn)
+		if err != nil {
+			return nil, err
+		}
+		d, err = db.DecodeSnapshot(d.Schema(), data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dbIn, err)
+		}
+		fmt.Printf("  database snapshot: %s\n", dbIn)
+	}
 	fmt.Printf("  %d rows across %d tables\n", d.TotalRows(), len(d.Schema().Tables()))
 
 	_, sTrace := obs.StartSpan(ctx, "trace")
-	full := workloads.GenerateTrace(b, d, txns, seed+1)
-	train, test := full.TrainTest(trainFrac, rand.New(rand.NewSource(seed+2)))
-	sTrace.End()
-	fmt.Printf("  trace: %d train / %d test transactions\n", train.Len(), test.Len())
+	var train, test *trace.Trace
+	var stream *trace.Stream
+	if traceIn != "" {
+		train, test, stream, err = loadTraceInput(traceIn, trainFrac, seed)
+		sTrace.End()
+		if err != nil {
+			return nil, err
+		}
+		if stream != nil {
+			if co.enabled || so.enabled {
+				return nil, fmt.Errorf("-chaos and -serve need an in-memory test trace; use a jsonl -trace-in or generate the trace")
+			}
+			fmt.Printf("  trace: %s (columnar, %d transactions; training on first %d, evaluation streams)\n",
+				traceIn, stream.Len(), train.Len())
+		} else {
+			fmt.Printf("  trace: %s (jsonl, %d train / %d test transactions)\n", traceIn, train.Len(), test.Len())
+		}
+		// A captured trace references rows its transactions created
+		// mid-run. A -db-in snapshot restores them exactly; without one,
+		// reconstruct every accessed key as a stub row so training and
+		// evaluation can at least navigate FK attributes embedded in
+		// primary keys (see workloads.SeedTraceRows).
+		if dbIn == "" {
+			var seedSrc trace.Workload = stream
+			if stream == nil {
+				seedSrc = train.Concat(test)
+			}
+			created, err := workloads.SeedTraceRows(d, seedSrc)
+			if err != nil {
+				return nil, err
+			}
+			if created > 0 {
+				fmt.Printf("  seeded %d trace-created rows (stub; use -db-in for exact rows)\n", created)
+			}
+		}
+	} else {
+		full := workloads.GenerateTrace(b, d, txns, seed+1)
+		train, test = full.TrainTest(trainFrac, rand.New(rand.NewSource(seed+2)))
+		sTrace.End()
+		fmt.Printf("  trace: %d train / %d test transactions\n", train.Len(), test.Len())
+	}
 
 	var sol *partition.Solution
 	pctx, sPart := obs.StartSpan(ctx, "partition/"+algo)
@@ -390,7 +454,19 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 		fmt.Println(sol.String())
 	}
 	_, sEval := obs.StartSpan(ctx, "evaluate")
-	r, err := eval.Evaluate(d, sol, test)
+	var r *eval.Result
+	if stream != nil {
+		// Streaming path: the evaluator indexes and scores one chunk at a
+		// time; the whole trace is never resident.
+		a, aerr := eval.NewAssigner(d, sol)
+		if aerr != nil {
+			sEval.End()
+			return nil, aerr
+		}
+		r, err = a.EvaluateStream(stream)
+	} else {
+		r, err = eval.Evaluate(d, sol, test)
+	}
 	sEval.End()
 	if err != nil {
 		return nil, err
@@ -402,8 +478,12 @@ func run(ctx context.Context, benchmark, algo string, k, scale, txns int, trainF
 
 	// Routing stage: build the runtime router from the code analysis and
 	// route every test transaction, reporting how many go to one partition.
+	var routeSrc trace.Workload = test
+	if stream != nil {
+		routeSrc = stream
+	}
 	_, sRoute := obs.StartSpan(ctx, "route")
-	err = routeStage(ctx, d, sol, b, test, seed)
+	err = routeStage(ctx, d, sol, b, routeSrc, seed)
 	sRoute.End()
 	if err != nil {
 		return nil, err
@@ -695,12 +775,60 @@ func recoverStage(ctx context.Context, b workloads.Benchmark, scale int, seed in
 	return nil
 }
 
+// loadTraceInput reads -trace-in, auto-detecting the format. A columnar
+// file becomes a streaming workload: the leading -train fraction is
+// materialized for the partitioner (which needs random access) and the
+// returned Stream drives evaluation and routing chunk-by-chunk. A
+// JSON-lines file is loaded whole and split exactly like a generated
+// trace.
+func loadTraceInput(path string, trainFrac float64, seed int64) (train, test *trace.Trace, stream *trace.Stream, err error) {
+	isCol, err := trace.SniffColumnar(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !isCol {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer f.Close()
+		full, err := trace.Read(f)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		train, test = full.TrainTest(trainFrac, rand.New(rand.NewSource(seed+2)))
+		return train, test, nil, nil
+	}
+	s, err := trace.OpenColumnar(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	n := int(trainFrac * float64(s.Len()))
+	if n < 1 {
+		n = 1
+	}
+	if n > s.Len() {
+		n = s.Len()
+	}
+	txns := make([]trace.Txn, 0, n)
+	for _, t := range s.All() {
+		if len(txns) == n {
+			break
+		}
+		txns = append(txns, t.Clone())
+	}
+	if err := s.Err(); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return trace.FromTxns(txns), nil, s, nil
+}
+
 // routeStage builds a router for the solution and routes the test trace's
 // invocations, printing the local / multi-partition / broadcast mix. Each
 // invocation is routed under its deterministic flight-recorder trace id
 // (seed + arrival index), so a -flight-dump of a plain run records the
 // routing decision stream.
-func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark, test *trace.Trace, seed int64) error {
+func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b workloads.Benchmark, test trace.Workload, seed int64) error {
 	var analyses []*sqlparse.Analysis
 	for _, proc := range workloads.Procedures(b) {
 		a, err := sqlparse.Analyze(proc, d.Schema())
@@ -715,8 +843,7 @@ func routeStage(ctx context.Context, d *db.DB, sol *partition.Solution, b worklo
 	}
 	rec := obs.ContextRecorder(ctx)
 	local, multi, broadcast := 0, 0, 0
-	for i := range test.Txns {
-		t := &test.Txns[i]
+	for i, t := range test.All() {
 		dec, err := rt.Route(ctx, router.Request{Class: t.Class, Params: t.Params,
 			TxnID: obs.TxnID(seed, i), VT: float64(i), Recorder: rec})
 		if err != nil {

@@ -8,11 +8,14 @@ import (
 	"testing"
 
 	"repro/internal/partition"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	_ "repro/internal/workloads/all"
 )
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"jecb", "schism", "horticulture"} {
-		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, 0, algo == "jecb", chaosOpts{}, driftOpts{}, serveOpts{})
+		sol, err := run(context.Background(), "tatp", algo, 4, 100, 400, 0.5, 1, 0, algo == "jecb", chaosOpts{}, driftOpts{}, serveOpts{}, "", "")
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -24,17 +27,17 @@ func TestRunAllAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err == nil {
+	if _, err := run(context.Background(), "nope", "jecb", 4, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}, "", ""); err == nil {
 		t.Error("unknown benchmark must error")
 	}
-	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err == nil {
+	if _, err := run(context.Background(), "tatp", "nope", 4, 100, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}, "", ""); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestEffectiveScale(t *testing.T) {
 	// Covered implicitly by TestRunAllAlgorithms; check the default path.
-	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}); err != nil {
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}, "", ""); err != nil {
 		t.Errorf("default scale: %v", err)
 	}
 }
@@ -48,7 +51,7 @@ func TestRealMainArtifacts(t *testing.T) {
 	flightPath := filepath.Join(dir, "flight.json")
 	if err := realMain("tatp", "jecb", 2, 50, 200, 0.5, 1, 0,
 		false, solPath, metricsPath, true, "", chaosOpts{}, driftOpts{},
-		flightOpts{dump: flightPath, cap: 1 << 16}, serveOpts{}); err != nil {
+		flightOpts{dump: flightPath, cap: 1 << 16}, serveOpts{}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(solPath)
@@ -91,7 +94,7 @@ func TestRealMainArtifacts(t *testing.T) {
 // by name and scenario loaded from a JSON file.
 func TestRunChaosStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}, serveOpts{}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: "rolling"}, driftOpts{}, serveOpts{}, "", ""); err != nil {
 		t.Errorf("builtin scenario: %v", err)
 	}
 	path := filepath.Join(t.TempDir(), "sc.json")
@@ -100,7 +103,7 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}, serveOpts{}); err != nil {
+		chaosOpts{enabled: true, seed: 7, scenario: path}, driftOpts{}, serveOpts{}, "", ""); err != nil {
 		t.Errorf("file scenario: %v", err)
 	}
 	// Malformed scenario files surface as errors, not panics.
@@ -109,7 +112,7 @@ func TestRunChaosStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 200, 0.5, 1, 0, false,
-		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}, serveOpts{}); err == nil {
+		chaosOpts{enabled: true, seed: 7, scenario: bad}, driftOpts{}, serveOpts{}, "", ""); err == nil {
 		t.Error("malformed scenario must error")
 	}
 }
@@ -118,12 +121,12 @@ func TestRunChaosStage(t *testing.T) {
 // replay runs after partitioning, on the same benchmark and seed.
 func TestRunDriftStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}, serveOpts{}); err != nil {
+		chaosOpts{}, driftOpts{scenario: "mix-flip", budget: 500, window: 100}, serveOpts{}, "", ""); err != nil {
 		t.Errorf("drift stage: %v", err)
 	}
 	// Unknown scenarios surface as errors, not panics.
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 400, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}, serveOpts{}); err == nil {
+		chaosOpts{}, driftOpts{scenario: "nope", budget: 500, window: 100}, serveOpts{}, "", ""); err == nil {
 		t.Error("unknown drift scenario must error")
 	}
 }
@@ -133,19 +136,140 @@ func TestRunDriftStage(t *testing.T) {
 // chaos scenario shared with the -chaos flags.
 func TestRunServeStage(t *testing.T) {
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3}); err != nil {
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3}, "", ""); err != nil {
 		t.Errorf("serve stage: %v", err)
 	}
 	// The scenario is shared with the chaos bundle and validated the
 	// same way: unknown names surface as errors, not panics.
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, scenario: "nope"}); err == nil {
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, scenario: "nope"}, "", ""); err == nil {
 		t.Error("unknown serve scenario must error")
 	}
 	// So do unknown arrival processes.
 	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
-		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, arrival: "lumpy"}); err == nil {
+		chaosOpts{}, driftOpts{}, serveOpts{enabled: true, load: 1, duration: 0.3, admission: true, seed: 3, arrival: "lumpy"}, "", ""); err == nil {
 		t.Error("unknown arrival process must error")
+	}
+}
+
+// TestRunTraceInput exercises -trace-in in both formats: a columnar file
+// streams through the pipeline (partition, streaming evaluation, routing),
+// a jsonl file loads whole; both must produce a solution.
+func TestRunTraceInput(t *testing.T) {
+	b, ok := workloads.Get("synthetic")
+	if !ok {
+		t.Fatal("synthetic benchmark missing")
+	}
+	d, err := b.Load(workloads.Config{Scale: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workloads.GenerateTrace(b, d, 300, 2)
+	dir := t.TempDir()
+
+	colPath := filepath.Join(dir, "t.col")
+	f, err := os.Create(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteColumnar(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, colPath, "")
+	if err != nil {
+		t.Fatalf("columnar -trace-in: %v", err)
+	}
+	if sol == nil || sol.K != 2 {
+		t.Errorf("columnar -trace-in: solution = %+v", sol)
+	}
+
+	jsonlPath := filepath.Join(dir, "t.trace")
+	jf, err := os.Create(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(jf); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, jsonlPath, ""); err != nil {
+		t.Fatalf("jsonl -trace-in: %v", err)
+	}
+
+	// Chaos replay needs the test trace in memory; a streamed columnar
+	// input must be rejected, not silently materialized.
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{enabled: true, scenario: "rolling"}, driftOpts{}, serveOpts{}, colPath, ""); err == nil {
+		t.Error("columnar -trace-in with -chaos must error")
+	}
+	// Missing files surface as errors.
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, filepath.Join(dir, "missing.col"), ""); err == nil {
+		t.Error("missing -trace-in must error")
+	}
+}
+
+// TestRunDBIn exercises -db-in: the trace's row universe comes from a
+// tracegen -db-out snapshot instead of stub seeding, and the flag is
+// rejected without -trace-in.
+func TestRunDBIn(t *testing.T) {
+	b, ok := workloads.Get("synthetic")
+	if !ok {
+		t.Fatal("synthetic benchmark missing")
+	}
+	d, err := b.Load(workloads.Config{Scale: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workloads.GenerateTrace(b, d, 300, 2)
+	dir := t.TempDir()
+
+	colPath := filepath.Join(dir, "t.col")
+	f, err := os.Create(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteColumnar(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "t.snap")
+	if err := os.WriteFile(snapPath, d.EncodeSnapshot(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sol, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, colPath, snapPath)
+	if err != nil {
+		t.Fatalf("-trace-in with -db-in: %v", err)
+	}
+	if sol == nil || sol.K != 2 {
+		t.Errorf("-db-in: solution = %+v", sol)
+	}
+
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 300, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, "", snapPath); err == nil {
+		t.Error("-db-in without -trace-in must error")
+	}
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, colPath, filepath.Join(dir, "missing.snap")); err == nil {
+		t.Error("missing -db-in must error")
+	}
+	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(context.Background(), "synthetic", "jecb", 2, 0, 0, 0.5, 1, 0, false,
+		chaosOpts{}, driftOpts{}, serveOpts{}, colPath, snapPath); err == nil {
+		t.Error("corrupt -db-in must error")
 	}
 }
 
@@ -154,7 +278,7 @@ func TestRunServeStage(t *testing.T) {
 func TestRunRecoveredConvertsPanics(t *testing.T) {
 	// k <= 0 reaches partitioner internals that enforce invariants with
 	// panics; the boundary must convert, not crash.
-	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{})
+	_, err := runRecovered(context.Background(), "synthetic", "jecb", -3, 0, 100, 0.5, 1, 0, false, chaosOpts{}, driftOpts{}, serveOpts{}, "", "")
 	if err == nil {
 		t.Error("negative k must error")
 	}
@@ -162,7 +286,7 @@ func TestRunRecoveredConvertsPanics(t *testing.T) {
 
 func TestRealMainError(t *testing.T) {
 	if err := realMain("nope", "jecb", 2, 0, 100, 0.5, 1, 0,
-		false, "", "", false, "", chaosOpts{}, driftOpts{}, flightOpts{}, serveOpts{}); err == nil {
+		false, "", "", false, "", chaosOpts{}, driftOpts{}, flightOpts{}, serveOpts{}, "", ""); err == nil {
 		t.Error("unknown benchmark must propagate from realMain")
 	}
 }

@@ -1,17 +1,28 @@
 // Command tracegen generates a workload trace for a benchmark and writes
-// it as JSON lines, the trace format internal/trace reads back.
+// it in either trace format internal/trace reads back: JSON lines or the
+// chunked columnar binary format (which cmd/jecb can stream without
+// loading the whole trace).
+//
+// A trace references rows its own transactions created mid-run, so the
+// post-generation database state matters for whoever consumes the trace:
+// -db-out writes it as a db snapshot that cmd/jecb -db-in loads back.
+// Without it, jecb reconstructs accessed keys as stub rows, which loses
+// non-key foreign-key columns (see workloads.SeedTraceRows).
 //
 // Usage:
 //
 //	tracegen -benchmark tpcc -scale 32 -txns 10000 -out tpcc.trace
+//	tracegen -benchmark tpcc -txns 1000000 -format columnar -out tpcc.col -db-out tpcc.snap
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	_ "repro/internal/workloads/all"
 )
@@ -22,26 +33,31 @@ func main() {
 		scale     = flag.Int("scale", 0, "benchmark scale (0 = default)")
 		txns      = flag.Int("txns", 10000, "transactions to generate")
 		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "jsonl", "output format: jsonl, columnar")
 		out       = flag.String("out", "", "output file (default stdout)")
+		dbOut     = flag.String("db-out", "", "also write the post-generation database snapshot here (for jecb -db-in)")
 	)
 	flag.Parse()
-	if err := run(*benchmark, *scale, *txns, *seed, *out); err != nil {
+	if err := run(*benchmark, *scale, *txns, *seed, *format, *out, *dbOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchmark string, scale, txns int, seed int64, out string) error {
+func run(benchmark string, scale, txns int, seed int64, format, out, dbOut string) error {
 	b, ok := workloads.Get(benchmark)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q (have: %s)", benchmark, strings.Join(workloads.Names(), ", "))
+	}
+	if format != "jsonl" && format != "columnar" {
+		return fmt.Errorf("unknown format %q (have: jsonl, columnar)", format)
 	}
 	d, err := b.Load(workloads.Config{Scale: scale, Seed: seed})
 	if err != nil {
 		return err
 	}
 	tr := workloads.GenerateTrace(b, d, txns, seed+1)
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -50,9 +66,25 @@ func run(benchmark string, scale, txns int, seed int64, out string) error {
 		defer f.Close()
 		w = f
 	}
-	if _, err := tr.WriteTo(w); err != nil {
-		return err
+	var bytes int64
+	switch format {
+	case "jsonl":
+		if bytes, err = tr.WriteTo(w); err != nil {
+			return err
+		}
+	case "columnar":
+		if bytes, err = trace.WriteColumnar(w, tr); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d transactions (%d classes)\n", tr.Len(), len(tr.Classes()))
+	fmt.Fprintf(os.Stderr, "wrote %d transactions (%d classes, %s, %d bytes)\n",
+		tr.Len(), len(tr.Classes()), format, bytes)
+	if dbOut != "" {
+		snap := d.EncodeSnapshot()
+		if err := os.WriteFile(dbOut, snap, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote database snapshot (%d rows, %d bytes)\n", d.TotalRows(), len(snap))
+	}
 	return nil
 }

@@ -46,6 +46,30 @@
 // bit-identical results for any worker count — see DESIGN.md, "Parallel
 // search & the determinism contract".
 //
+// # API migration (columnar trace redesign)
+//
+// Trace consumers moved from concrete []Txn slices and per-transaction
+// map allocations to cursor- and bitset-based equivalents. The old forms
+// in the left column still work where marked Deprecated; new code uses
+// the right column:
+//
+//	Old form                                    Canonical replacement
+//	------------------------------------------  ------------------------------------------------
+//	trace.(*Trace).Txns() []Txn (Deprecated)    trace.(*Trace).All() / At(i); build with FromTxns
+//	func f(tr *trace.Trace)                     func f(w trace.Workload) — row, columnar & stream
+//	eval.Assigner.TxnPartitions → map[int]bool  … → partition.Set (inline bitset; Min() = coordinator)
+//	eval.Evaluate(d, sol, tr) per-txn maps      a.Index(c).Evaluate() — precomputed join-path index
+//	whole trace in memory                       trace.OpenColumnar(path) → a.EvaluateStream(s)
+//
+// New surface: trace.Workload (Len/All/Class/Classes/Mix, implemented by
+// Trace, Columnar, Stream), trace.Columnarize / Materialize,
+// trace.WriteColumnar / NewColumnarWriter / OpenColumnar / SniffColumnar
+// (chunked CRC-framed on-disk format; ErrTornTail vs ErrCorrupt),
+// eval.PlaceIndex via Assigner.Index, and eval.EvaluateColumnar /
+// EvaluateStream. Columnar cursors yield a reused scratch *Txn — Clone to
+// retain. Streamed, columnar, and row evaluation produce byte-identical
+// results — see DESIGN.md, "Columnar traces & the zero-alloc evaluator".
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-vs-measured record. bench_test.go in this
 // directory regenerates every table and figure as a testing.B benchmark.

@@ -86,8 +86,8 @@ func main() {
 
 	// Count single-partition routings over the test trace.
 	single := 0
-	for i := range test.Txns {
-		dec, err := rt.Route(ctx, router.Request{Class: test.Txns[i].Class, Params: test.Txns[i].Params})
+	for _, t := range test.All() {
+		dec, err := rt.Route(ctx, router.Request{Class: t.Class, Params: t.Params})
 		if err != nil {
 			log.Fatal(err)
 		}

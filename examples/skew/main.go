@@ -90,9 +90,9 @@ func resampleHot(tr *trace.Trace, hotFrac float64) *trace.Trace {
 	out := &trace.Trace{}
 	for i := 0; i < tr.Len(); i++ {
 		if rng.Float64() < hotFrac {
-			out.Txns = append(out.Txns, tr.Txns[rng.Intn(hotN)])
+			out.Append(*tr.At(rng.Intn(hotN)))
 		} else {
-			out.Txns = append(out.Txns, tr.Txns[rng.Intn(tr.Len())])
+			out.Append(*tr.At(rng.Intn(tr.Len())))
 		}
 	}
 	return out

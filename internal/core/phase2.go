@@ -241,7 +241,7 @@ func (p *Partitioner) singleValueFraction(ctx context.Context, tree *joingraph.T
 		for i := lo; i < hi; i++ {
 			var first value.Value
 			seen, multi := false, false
-			for _, acc := range stream.Txns[i].Accesses {
+			for _, acc := range stream.At(i).Accesses {
 				ev, ok := evals[acc.Table]
 				if !ok {
 					continue
@@ -300,7 +300,7 @@ func (p *Partitioner) rootValueSets(ctx context.Context, tree *joingraph.Tree, s
 		}
 		for i := lo; i < hi; i++ {
 			set := map[value.Value]bool{}
-			for _, acc := range stream.Txns[i].Accesses {
+			for _, acc := range stream.At(i).Accesses {
 				ev, ok := evals[acc.Table]
 				if !ok {
 					continue
@@ -427,7 +427,7 @@ func (p *Partitioner) classCost(tree *joingraph.Tree, m partition.Mapper, stream
 	// Tables the stream touches but the tree does not cover are treated
 	// as replicated reads (they are replicated by Phase 1 in the callers'
 	// contexts).
-	for _, txn := range stream.Txns {
+	for _, txn := range stream.All() {
 		for _, acc := range txn.Accesses {
 			if sol.Table(acc.Table) == nil {
 				sol.Set(partition.NewReplicated(acc.Table))

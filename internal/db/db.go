@@ -164,6 +164,36 @@ func (t *Table) MustInsert(vals ...value.Value) value.Key {
 	return k
 }
 
+// EnsureKey inserts a stub row for k if no row with that primary key
+// exists: the primary-key columns are decoded from the key itself and
+// every other column is NULL. Post-hoc trace evaluation uses it to
+// reconstruct rows a captured trace created mid-run (the trace records
+// only keys, not row contents) — join-path navigation then works for
+// any FK attribute that is part of the primary key. Returns true if a
+// row was created.
+func (t *Table) EnsureKey(k value.Key) (bool, error) {
+	if _, ok := t.Get(k); ok {
+		return false, nil
+	}
+	vals, err := value.DecodeKey(k)
+	if err != nil {
+		return false, fmt.Errorf("db: %s: ensure key: %v", t.meta.Name, err)
+	}
+	idx := t.meta.PKIndexes()
+	if len(vals) != len(idx) {
+		return false, fmt.Errorf("db: %s: ensure key: key encodes %d values, primary key has %d columns",
+			t.meta.Name, len(vals), len(idx))
+	}
+	row := make(value.Tuple, len(t.meta.Columns))
+	for i, ci := range idx {
+		row[ci] = vals[i]
+	}
+	if _, err := t.Insert(row); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Get returns the row with the given primary key.
 func (t *Table) Get(k value.Key) (value.Tuple, bool) {
 	t.mu.RLock()

@@ -15,8 +15,13 @@ import (
 var ErrSnapshot = errors.New("db: malformed snapshot")
 
 // snapshotMagic pins the checkpoint format; bump the trailing digit on
-// incompatible changes.
-const snapshotMagic = "JSNP1"
+// incompatible changes. V2 appended a per-table graveyard section so
+// decoded databases keep GetAny navigability for rows the workload
+// deleted; V1 payloads (no graveyard) still decode.
+const (
+	snapshotMagic   = "JSNP2"
+	snapshotMagicV1 = "JSNP1"
+)
 
 // Digest returns a deterministic 64-bit digest of the table's durable
 // state: FNV-1a over the live rows (sorted by primary key, each with its
@@ -75,10 +80,13 @@ func (d *DB) TableDigests() map[string]uint64 {
 	return out
 }
 
-// EncodeSnapshot serializes the database's durable state (live rows and
-// version counters of every table, sorted for determinism) — the payload
-// of a WAL CHECKPOINT record. The same state always encodes to the same
-// bytes.
+// EncodeSnapshot serializes the database's state (live rows, version
+// counters, and graveyard rows of every table, sorted for determinism) —
+// the payload of a WAL CHECKPOINT record and the row universe a captured
+// trace is evaluated against (tracegen -db-out). The graveyard rides
+// along so join paths through since-deleted rows stay navigable after a
+// decode; it is still excluded from Digest, which covers durable state
+// only. The same state always encodes to the same bytes.
 func (d *DB) EncodeSnapshot() []byte {
 	names := make([]string, 0, len(d.tables))
 	for name := range d.tables {
@@ -117,6 +125,20 @@ func (d *DB) EncodeSnapshot() []byte {
 			out = appendBytes(out, []byte(k))
 			out = appendUvarint(out, t.versions[k])
 		}
+
+		gkeys := make([]value.Key, 0, len(t.graveyard))
+		for k := range t.graveyard {
+			gkeys = append(gkeys, k)
+		}
+		sort.Slice(gkeys, func(i, j int) bool { return gkeys[i] < gkeys[j] })
+		out = appendUvarint(out, uint64(len(gkeys)))
+		for _, k := range gkeys {
+			var enc []byte
+			for _, v := range t.graveyard[k] {
+				enc = v.Encode(enc)
+			}
+			out = appendBytes(out, enc)
+		}
 		t.mu.RUnlock()
 	}
 	return out
@@ -130,7 +152,11 @@ func snapErrf(format string, args ...any) error {
 // EncodeSnapshot, validated against the schema. All failures wrap
 // ErrSnapshot; the function never panics on corrupt input.
 func DecodeSnapshot(sc *schema.Schema, data []byte) (*DB, error) {
-	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+	if len(data) < len(snapshotMagic) {
+		return nil, snapErrf("bad magic")
+	}
+	magic := string(data[:len(snapshotMagic)])
+	if magic != snapshotMagic && magic != snapshotMagicV1 {
 		return nil, snapErrf("bad magic")
 	}
 	dec := &opDecoder{b: data[len(snapshotMagic):]}
@@ -193,11 +219,48 @@ func DecodeSnapshot(sc *schema.Schema, data []byte) (*DB, error) {
 			}
 			t.setVersion(value.Key(key), ver)
 		}
+		if magic == snapshotMagicV1 {
+			continue
+		}
+		ngrave, err := dec.uvarint()
+		if err != nil {
+			return nil, snapErrf("%s: graveyard count: %v", nameB, err)
+		}
+		if ngrave > uint64(len(dec.b)) {
+			return nil, snapErrf("%s: graveyard count %d exceeds remaining bytes", nameB, ngrave)
+		}
+		for g := uint64(0); g < ngrave; g++ {
+			enc, err := dec.bytes()
+			if err != nil {
+				return nil, snapErrf("%s: graveyard row %d: %v", nameB, g, err)
+			}
+			vals, err := value.DecodeKey(value.Key(enc))
+			if err != nil {
+				return nil, snapErrf("%s: graveyard row %d: %v", nameB, g, err)
+			}
+			if len(vals) != len(t.meta.Columns) {
+				return nil, snapErrf("%s: graveyard row %d: arity %d, want %d",
+					nameB, g, len(vals), len(t.meta.Columns))
+			}
+			t.setGraveyard(value.Tuple(vals))
+		}
 	}
 	if len(dec.b) != 0 {
 		return nil, snapErrf("%d trailing bytes", len(dec.b))
 	}
 	return d, nil
+}
+
+// setGraveyard installs a deleted row's last version directly (snapshot
+// decode only); the key is recomputed from the row's primary-key columns.
+func (t *Table) setGraveyard(row value.Tuple) {
+	k := t.PKOf(row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.graveyard == nil {
+		t.graveyard = make(map[value.Key]value.Tuple)
+	}
+	t.graveyard[k] = row
 }
 
 // setVersion installs a version counter directly (snapshot decode only).

@@ -78,6 +78,49 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotCarriesGraveyard: deleted rows survive the snapshot round
+// trip so GetAny (and join-path evaluation through since-deleted tuples)
+// behaves identically on the decoded database. V1 payloads, which
+// predate the graveyard section, still decode.
+func TestSnapshotCarriesGraveyard(t *testing.T) {
+	d := loadFigure1(t)
+	tr := d.Table("TRADE")
+	k := value.MakeKey(value.NewInt(2))
+	row, _ := tr.Get(k)
+	want := row.Clone()
+	if !tr.Delete(k) {
+		t.Fatal("delete missed")
+	}
+
+	got, err := DecodeSnapshot(d.Schema(), d.EncodeSnapshot())
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	gt := got.Table("TRADE")
+	if _, live := gt.Get(k); live {
+		t.Error("deleted row came back live")
+	}
+	dead, ok := gt.GetAny(k)
+	if !ok {
+		t.Fatal("graveyard row lost in round trip")
+	}
+	for i := range want {
+		if dead[i].Compare(want[i]) != 0 {
+			t.Errorf("graveyard column %d = %v, want %v", i, dead[i], want[i])
+		}
+	}
+
+	// A V1 payload (old magic, no graveyard sections) still decodes.
+	v1 := appendUvarint([]byte(snapshotMagicV1), 0)
+	old, err := DecodeSnapshot(d.Schema(), v1)
+	if err != nil {
+		t.Fatalf("V1 decode: %v", err)
+	}
+	if old.TotalRows() != 0 {
+		t.Errorf("empty V1 snapshot decoded %d rows", old.TotalRows())
+	}
+}
+
 func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
 	d := loadFigure1(t)
 	enc := d.EncodeSnapshot()

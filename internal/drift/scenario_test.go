@@ -107,12 +107,9 @@ func TestHotspotBirthConcentratesTags(t *testing.T) {
 	// The hotspot tag value dominates post-drift ByTag params.
 	counts := map[string]int{}
 	byTag := 0
-	for i := range post.Txns {
-		if post.Txns[i].Class != "ByTag" {
-			continue
-		}
+	for txn := range post.Class("ByTag") {
 		byTag++
-		counts[post.Txns[i].Params["tag"].String()]++
+		counts[txn.Params["tag"].String()]++
 	}
 	max := 0
 	for _, c := range counts {

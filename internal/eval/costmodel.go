@@ -114,9 +114,9 @@ func (a *Assigner) EvaluateWith(tr *trace.Trace, model CostModel) (float64, erro
 		return 0, nil
 	}
 	total := 0.0
-	for i := range tr.Txns {
-		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
-		total += model.TxnCost(len(parts), writesReplicated, allPlaced, a.sol.K)
+	for _, t := range tr.All() {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
+		total += model.TxnCost(parts.Len(), writesReplicated, allPlaced, a.sol.K)
 	}
 	return total / float64(tr.Len()), nil
 }

@@ -7,3 +7,6 @@ import "time"
 // processCPUTime is unavailable on this platform; Resources falls back
 // to wall time.
 func processCPUTime() (time.Duration, bool) { return 0, false }
+
+// PeakRSS is unavailable on this platform.
+func PeakRSS() (uint64, bool) { return 0, false }

@@ -3,6 +3,7 @@
 package eval
 
 import (
+	"runtime"
 	"syscall"
 	"time"
 )
@@ -17,4 +18,17 @@ func processCPUTime() (time.Duration, bool) {
 	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
 	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
 	return user + sys, true
+}
+
+// PeakRSS returns the process's peak resident set size in bytes via
+// getrusage, or false when the platform does not report it.
+func PeakRSS() (uint64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	if runtime.GOOS == "darwin" {
+		return uint64(ru.Maxrss), true // ru_maxrss is bytes on darwin
+	}
+	return uint64(ru.Maxrss) * 1024, true // kilobytes elsewhere
 }

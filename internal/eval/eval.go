@@ -182,9 +182,10 @@ func (a *Assigner) PlaceKey(acc trace.Access) (int, bool) {
 
 // TxnPartitions classifies a transaction under the bound solution: the set
 // of distinct real partitions its non-replicated accesses touch, whether it
-// writes a replicated tuple, and whether every access could be placed.
-func (a *Assigner) TxnPartitions(t *trace.Txn) (parts map[int]bool, writesReplicated, allPlaced bool) {
-	parts = make(map[int]bool)
+// writes a replicated tuple, and whether every access could be placed. The
+// set is returned by value — a bitset with no heap state for partition
+// counts up to 256 (see partition.Set).
+func (a *Assigner) TxnPartitions(t *trace.Txn) (parts partition.Set, writesReplicated, allPlaced bool) {
 	allPlaced = true
 	for _, acc := range t.Accesses {
 		p, ok := a.PlaceKey(acc)
@@ -198,7 +199,7 @@ func (a *Assigner) TxnPartitions(t *trace.Txn) (parts map[int]bool, writesReplic
 			}
 			continue
 		}
-		parts[p] = true
+		parts.Add(p)
 	}
 	return parts, writesReplicated, allPlaced
 }
@@ -206,7 +207,7 @@ func (a *Assigner) TxnPartitions(t *trace.Txn) (parts map[int]bool, writesReplic
 // Distributed applies Definition 5 to one transaction.
 func (a *Assigner) Distributed(t *trace.Txn) bool {
 	parts, writesReplicated, allPlaced := a.TxnPartitions(t)
-	return writesReplicated || !allPlaced || len(parts) > 1
+	return writesReplicated || !allPlaced || parts.Len() > 1
 }
 
 // Evaluate scores a solution on a trace.
@@ -236,7 +237,7 @@ func (a *Assigner) evalShard(tr *trace.Trace, lo, hi int) *Result {
 		ByClass:  make(map[string]*ClassResult),
 	}
 	for i := lo; i < hi; i++ {
-		t := &tr.Txns[i]
+		t := tr.At(i)
 		cr, ok := r.ByClass[t.Class]
 		if !ok {
 			cr = &ClassResult{Class: t.Class}
@@ -245,11 +246,11 @@ func (a *Assigner) evalShard(tr *trace.Trace, lo, hi int) *Result {
 		r.Total++
 		cr.Total++
 		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
-		distributed := writesReplicated || !allPlaced || len(parts) > 1
+		distributed := writesReplicated || !allPlaced || parts.Len() > 1
 		if distributed {
 			r.Distributed++
 			cr.Distributed++
-			touched := len(parts)
+			touched := parts.Len()
 			if writesReplicated || !allPlaced {
 				touched = a.sol.K
 			}
@@ -287,7 +288,7 @@ func (r *Result) merge(o *Result) {
 // to shard, take the sequential path). Safe for concurrent use: many
 // EvaluateParallel calls may run against one shared Assigner.
 func (a *Assigner) EvaluateParallel(tr *trace.Trace, workers int) *Result {
-	n := len(tr.Txns)
+	n := tr.Len()
 	if workers > n {
 		workers = n
 	}

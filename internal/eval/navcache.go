@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"hash/fnv"
 	"sync"
 
 	"repro/internal/obs"
@@ -64,11 +63,21 @@ func NewNavCache() *NavCache {
 	return c
 }
 
+// fnv1a is FNV-1a over a string, inlined: the hash/fnv Hash32 interface
+// value heap-allocates per call, and the shard pick runs once per tuple
+// access on the evaluator's innermost loop.
+func fnv1a(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 func (c *NavCache) shard(k navKey) *navShard {
-	h := fnv.New32a()
-	h.Write([]byte(k.path))
-	h.Write([]byte(k.key))
-	return &c.shards[h.Sum32()&(navShards-1)]
+	h := fnv1a(2166136261, k.path)
+	h = fnv1a(h, string(k.key))
+	return &c.shards[h&(navShards-1)]
 }
 
 // get returns the memoized outcome for k.

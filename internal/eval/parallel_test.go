@@ -95,12 +95,12 @@ func TestAssignerSharedStress(t *testing.T) {
 						return
 					}
 				case 1:
-					for i := range tr.Txns {
-						a.Distributed(&tr.Txns[i])
+					for _, txn := range tr.All() {
+						a.Distributed(txn)
 					}
 				default:
-					for i := range tr.Txns {
-						for _, acc := range tr.Txns[i].Accesses {
+					for _, txn := range tr.All() {
+						for _, acc := range txn.Accesses {
 							a.PlaceKey(acc)
 						}
 					}

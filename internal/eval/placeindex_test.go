@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/trace"
+)
+
+// TestPlaceIndexMatchesEvaluate: the indexed columnar evaluator and the
+// row evaluator must agree bit-for-bit, including per-txn classification.
+func TestPlaceIndexMatchesEvaluate(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 500, 7)
+	for _, sol := range []string{"join-extension", "naive"} {
+		s := joinExtensionSolution(4)
+		if sol == "naive" {
+			s = naiveSolution(4)
+		}
+		a, err := NewAssigner(d, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := trace.Columnarize(tr)
+		want := resultFingerprint(t, a.Evaluate(tr))
+		if got := resultFingerprint(t, a.EvaluateColumnar(c)); got != want {
+			t.Errorf("%s: columnar diverged\n got %s\nwant %s", sol, got, want)
+		}
+		idx := a.Index(c)
+		for i := 0; i < tr.Len(); i++ {
+			wp, wwr, wap := a.TxnPartitions(tr.At(i))
+			gp, gwr, gap := idx.TxnPartitions(i)
+			if !gp.Equal(&wp) || gwr != wwr || gap != wap {
+				t.Fatalf("%s txn %d: indexed (%v,%v,%v), row (%v,%v,%v)",
+					sol, i, &gp, gwr, gap, &wp, wwr, wap)
+			}
+		}
+	}
+}
+
+// TestEvaluateStreamMatchesEvaluate: chunked streaming evaluation merges
+// to the identical result.
+func TestEvaluateStreamMatchesEvaluate(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 300, 11)
+	path := filepath.Join(t.TempDir(), "trace.col")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := trace.NewColumnarWriter(f)
+	cw.SetChunkTxns(17) // many partial chunks
+	for _, txn := range tr.All() {
+		if err := cw.Add(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.OpenColumnar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAssigner(d, joinExtensionSolution(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(t, a.Evaluate(tr))
+	got, err := a.EvaluateStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := resultFingerprint(t, got); g != want {
+		t.Errorf("stream diverged\n got %s\nwant %s", g, want)
+	}
+}
+
+// TestEvaluateAllocBudget is the zero-alloc gate: once the PlaceIndex is
+// built, scoring the whole trace must stay within 10 allocations — the
+// Result, its ByClass map and entries, and the two per-class tally
+// arrays. The per-transaction loop itself must not allocate at all.
+func TestEvaluateAllocBudget(t *testing.T) {
+	d := fixture.CustInfoDB()
+	tr := fixture.MixedTrace(d, 1000, 7)
+	a, err := NewAssigner(d, joinExtensionSolution(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Columnarize(tr)
+	idx := a.Index(c) // build (and NavCache warm-up) excluded from the budget
+	allocs := testing.AllocsPerRun(20, func() {
+		idx.Evaluate()
+	})
+	if allocs > 10 {
+		t.Errorf("Evaluate = %.0f allocs/op, budget is 10", allocs)
+	}
+}

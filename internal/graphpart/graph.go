@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Graph is an undirected weighted graph with weighted vertices.
@@ -212,13 +213,13 @@ func Partition(g *Graph, k int, opts Options) ([]int, error) {
 		}
 		big := blocks[li]
 		half := grow(g, big, blockWeight(g, big)/2, rng)
-		inHalf := make(map[int]bool, len(half))
+		var inHalf partition.Set
 		for _, v := range half {
-			inHalf[v] = true
+			inHalf.Add(v)
 		}
 		var rest []int
 		for _, v := range big {
-			if !inHalf[v] {
+			if !inHalf.Has(v) {
 				rest = append(rest, v)
 			}
 		}
@@ -281,17 +282,16 @@ func blockWeight(g *Graph, b []int) float64 {
 // blockComponents returns the connected components of the subgraph
 // induced by the block's vertices.
 func blockComponents(g *Graph, block []int) [][]int {
-	inBlock := make(map[int]bool, len(block))
+	var inBlock, seen partition.Set
 	for _, v := range block {
-		inBlock[v] = true
+		inBlock.Add(v)
 	}
-	seen := map[int]bool{}
 	var out [][]int
 	for _, s := range block {
-		if seen[s] {
+		if seen.Has(s) {
 			continue
 		}
-		seen[s] = true
+		seen.Add(s)
 		comp := []int{}
 		stack := []int{s}
 		for len(stack) > 0 {
@@ -299,8 +299,8 @@ func blockComponents(g *Graph, block []int) [][]int {
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
 			for _, v := range g.sortedNeighbors(u) {
-				if inBlock[v] && !seen[v] {
-					seen[v] = true
+				if inBlock.Has(v) && !seen.Has(v) {
+					seen.Add(v)
 					stack = append(stack, v)
 				}
 			}
@@ -360,13 +360,13 @@ func splitHeavyBlocks(g *Graph, blocks [][]int, target float64, rng *rand.Rand) 
 			continue
 		}
 		half := grow(g, b, blockWeight(g, b)/2, rng)
-		inHalf := make(map[int]bool, len(half))
+		var inHalf partition.Set
 		for _, v := range half {
-			inHalf[v] = true
+			inHalf.Add(v)
 		}
 		var rest []int
 		for _, v := range b {
-			if !inHalf[v] {
+			if !inHalf.Has(v) {
 				rest = append(rest, v)
 			}
 		}
@@ -391,11 +391,10 @@ func grow(g *Graph, block []int, want float64, rng *rand.Rand) []int {
 			seed = v
 		}
 	}
-	inBlock := make(map[int]bool, len(block))
+	var inBlock, inRegion partition.Set
 	for _, v := range block {
-		inBlock[v] = true
+		inBlock.Add(v)
 	}
-	inRegion := map[int]bool{}
 	// gain[v] = edge weight from v to the current region; h is a lazy
 	// max-heap over (gain, vertex) snapshots.
 	gain := map[int]float64{}
@@ -406,17 +405,17 @@ func grow(g *Graph, block []int, want float64, rng *rand.Rand) []int {
 	var region []int
 	w, cut := 0.0, 0.0
 	add := func(u int) {
-		inRegion[u] = true
+		inRegion.Add(u)
 		region = append(region, u)
 		w += g.vw[u]
 		// Adding u converts its region edges from cut to internal and
 		// exposes its block-internal external edges as new cut.
 		for _, v := range g.sortedNeighbors(u) {
 			ew := g.adj[u][v]
-			if !inBlock[v] {
+			if !inBlock.Has(v) {
 				continue
 			}
-			if inRegion[v] {
+			if inRegion.Has(v) {
 				cut -= ew
 			} else {
 				cut += ew
@@ -446,7 +445,7 @@ func grow(g *Graph, block []int, want float64, rng *rand.Rand) []int {
 	record()
 	for w < overshoot && h.len() > 0 {
 		e := h.pop()
-		if inRegion[e.v] || e.gain != gain[e.v] {
+		if inRegion.Has(e.v) || e.gain != gain[e.v] {
 			continue // stale entry
 		}
 		add(e.v)
@@ -459,7 +458,7 @@ func grow(g *Graph, block []int, want float64, rng *rand.Rand) []int {
 			if w >= want {
 				break
 			}
-			if !inRegion[v] {
+			if !inRegion.Has(v) {
 				add(v)
 				record()
 			}

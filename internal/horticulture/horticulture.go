@@ -271,12 +271,13 @@ func costOf(d *db.DB, dz design, replicated map[string]bool, sample *trace.Trace
 	}
 	load := make([]float64, opts.K)
 	distributed, touchSum := 0, 0
-	for i := range sample.Txns {
-		parts, writesRep, allPlaced := a.TxnPartitions(&sample.Txns[i])
-		isDist := writesRep || !allPlaced || len(parts) > 1
+	for _, t := range sample.All() {
+		parts, writesRep, allPlaced := a.TxnPartitions(t)
+		n := parts.Len()
+		isDist := writesRep || !allPlaced || n > 1
 		if isDist {
 			distributed++
-			touched := len(parts)
+			touched := n
 			if writesRep || !allPlaced {
 				touched = opts.K
 			}
@@ -285,13 +286,13 @@ func costOf(d *db.DB, dz design, replicated map[string]bool, sample *trace.Trace
 			}
 			touchSum += touched
 		}
-		if len(parts) == 0 {
+		if n == 0 {
 			// Fully replicated read: charge nothing (any node serves it).
 			continue
 		}
-		for p := range parts {
-			load[p] += 1 / float64(len(parts))
-		}
+		parts.ForEach(func(p int) {
+			load[p] += 1 / float64(n)
+		})
 	}
 	n := float64(sample.Len())
 	if n == 0 {

@@ -34,21 +34,21 @@ func Heat(d *db.DB, sol *partition.Solution, tr *trace.Trace) ([]float64, error)
 		return nil, err
 	}
 	heat := make([]float64, sol.K)
-	for i := range tr.Txns {
-		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
+	for _, t := range tr.All() {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
 		if writesReplicated || !allPlaced {
 			for p := range heat {
 				heat[p] += 1 / float64(sol.K)
 			}
 			continue
 		}
-		if len(parts) == 0 {
+		if parts.Empty() {
 			continue // fully replicated read: any node serves it
 		}
-		share := 1 / float64(len(parts))
-		for p := range parts {
+		share := 1 / float64(parts.Len())
+		parts.ForEach(func(p int) {
 			heat[p] += share
-		}
+		})
 	}
 	return heat, nil
 }

@@ -529,8 +529,7 @@ func Run(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace
 	}
 
 	var nextTxn uint64
-	for i := range tr.Txns {
-		t := &tr.Txns[i]
+	for i, t := range tr.All() {
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, k, i)
 		traceID := obs.TxnID(cfg.Seed, i)

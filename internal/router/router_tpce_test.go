@@ -58,16 +58,12 @@ func TestRouterOnTPCE(t *testing.T) {
 		t.Fatal(err)
 	}
 	checked, sound, singleRouted := 0, 0, 0
-	for i := range test.Txns {
-		txn := &test.Txns[i]
+	for _, txn := range test.All() {
 		parts, writesReplicated, allPlaced := assigner.TxnPartitions(txn)
-		if writesReplicated || !allPlaced || len(parts) != 1 {
+		if writesReplicated || !allPlaced || parts.Len() != 1 {
 			continue // routing soundness only meaningful for local txns
 		}
-		var actual int
-		for p := range parts {
-			actual = p
-		}
+		actual := parts.Min()
 		routed := rt.RoutePartitions(txn.Class, txn.Params)
 		checked++
 		if len(routed) == 1 {

@@ -136,8 +136,8 @@ func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.S
 	_ = g
 	// Two passes: first collect nodes so the graph can be sized, then add
 	// edges (graphpart graphs are fixed-size).
-	for i := range in.Train.Txns {
-		for _, acc := range in.Train.Txns[i].Accesses {
+	for _, t := range in.Train.All() {
+		for _, acc := range t.Accesses {
 			if !replicated[acc.Table] {
 				node(tupleID{acc.Table, acc.Key})
 			}
@@ -146,9 +146,9 @@ func PartitionContext(ctx context.Context, in Input, opts Options) (*partition.S
 	g = graphpart.New(len(tuples))
 	st := &Stats{RuleCounts: map[string]int{}, Columns: map[string]string{}}
 	st.GraphNodes = len(tuples)
-	for i := range in.Train.Txns {
+	for _, t := range in.Train.All() {
 		var ids []int
-		for _, acc := range in.Train.Txns[i].Accesses {
+		for _, acc := range t.Accesses {
 			if !replicated[acc.Table] {
 				ids = append(ids, index[tupleID{acc.Table, acc.Key}])
 			}

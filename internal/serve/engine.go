@@ -238,7 +238,7 @@ func (e *engine) newRequest(idx, session int, vt float64) *request {
 	r := &request{
 		idx:     idx,
 		session: session,
-		t:       &e.tr.Txns[idx%e.tr.Len()],
+		t:       e.tr.At(idx % e.tr.Len()),
 		traceID: obs.TxnID(e.cfg.Seed, idx),
 		ctx:     WithVTDeadline(context.Background(), vt+e.cfg.DeadlineSec),
 		arrival: vt,

@@ -345,15 +345,15 @@ func EstimateCapacityTPS(d *db.DB, sol *partition.Solution, tr *trace.Trace,
 		return 0, err
 	}
 	total := 0.0
-	for i := range tr.Txns {
-		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
-		switch {
+	for _, t := range tr.All() {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
+		switch n := parts.Len(); {
 		case writesReplicated || !allPlaced:
 			total += cost.CoordWork + cost.ParticipantWork*float64(sol.K)
-		case len(parts) <= 1:
+		case n <= 1:
 			total += cost.LocalWork
 		default:
-			total += cost.CoordWork + cost.ParticipantWork*float64(len(parts))
+			total += cost.CoordWork + cost.ParticipantWork*float64(n)
 		}
 	}
 	avg := total / float64(tr.Len())

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/db"
 	"repro/internal/eval"
@@ -196,8 +195,7 @@ func runChaos(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 	slo := obs.NewSLOMonitor(cfg.SLO)
 	var allLat, retriedLat obs.HDR // per-run HDRs, virtual nanoseconds
 
-	for i := range tr.Txns {
-		t := &tr.Txns[i]
+	for i, t := range tr.All() {
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, sol.K, i)
 		txn := obs.TxnID(seed, i)
@@ -357,20 +355,16 @@ func participants(a *eval.Assigner, t *trace.Txn, k, txnIndex int) (nodes []int,
 		for n := range nodes {
 			nodes[n] = n
 		}
-		return nodes, coordinator(parts, k, txnIndex), true
-	case len(parts) == 0:
+		return nodes, coordinator(&parts, k, txnIndex), true
+	case parts.Empty():
 		// Fully-replicated read: no pinned participant.
-		return nil, coordinator(parts, k, txnIndex), false
-	case len(parts) == 1:
-		c := coordinator(parts, k, txnIndex)
+		return nil, coordinator(&parts, k, txnIndex), false
+	case parts.Len() == 1:
+		c := coordinator(&parts, k, txnIndex)
 		return []int{c}, c, false
 	default:
-		nodes = make([]int, 0, len(parts))
-		for n := range parts {
-			nodes = append(nodes, n)
-		}
-		sort.Ints(nodes)
-		return nodes, coordinator(parts, k, txnIndex), true
+		nodes = parts.AppendTo(make([]int, 0, parts.Len()))
+		return nodes, coordinator(&parts, k, txnIndex), true
 	}
 }
 

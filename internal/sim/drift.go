@@ -214,21 +214,21 @@ func windowStats(a *eval.Assigner, w *trace.Trace, k int) (distFrac float64, hea
 		return 0, heat
 	}
 	dist := 0
-	for i := range w.Txns {
-		parts, wr, ap := a.TxnPartitions(&w.Txns[i])
+	for i, t := range w.All() {
+		parts, wr, ap := a.TxnPartitions(t)
 		switch {
 		case wr || !ap:
 			dist++
 			for n := 0; n < k; n++ {
 				heat[n]++
 			}
-		case len(parts) > 1:
+		case parts.Len() > 1:
 			dist++
-			for n := range parts {
+			parts.ForEach(func(n int) {
 				heat[n]++
-			}
+			})
 		default:
-			heat[coordinator(parts, k, i)]++
+			heat[coordinator(&parts, k, i)]++
 		}
 	}
 	return float64(dist) / float64(w.Len()), heat
@@ -298,8 +298,7 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 
 		// Replay the window under the current solution, charging work.
 		windowDist := 0
-		for i := range win.Txns {
-			t := &win.Txns[i]
+		for i, t := range win.All() {
 			gi := base + i
 			parts, wr, ap := asg.TxnPartitions(t)
 			distributed := false
@@ -310,18 +309,18 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 				for n := 0; n < sol.K; n++ {
 					res.NodeWork[n] += cfg.ParticipantWork
 				}
-				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.CoordWork
+				res.NodeWork[coordinator(&parts, sol.K, gi)] += cfg.CoordWork
 				txnWork = float64(sol.K)*cfg.ParticipantWork + cfg.CoordWork
-			case len(parts) <= 1:
-				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.LocalWork
+			case parts.Len() <= 1:
+				res.NodeWork[coordinator(&parts, sol.K, gi)] += cfg.LocalWork
 				txnWork = cfg.LocalWork
 			default:
 				distributed = true
-				for n := range parts {
+				parts.ForEach(func(n int) {
 					res.NodeWork[n] += cfg.ParticipantWork
-				}
-				res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.CoordWork
-				txnWork = float64(len(parts))*cfg.ParticipantWork + cfg.CoordWork
+				})
+				res.NodeWork[coordinator(&parts, sol.K, gi)] += cfg.CoordWork
+				txnWork = float64(parts.Len())*cfg.ParticipantWork + cfg.CoordWork
 			}
 			if distributed {
 				res.Distributed++
@@ -351,7 +350,7 @@ func runDrift(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.
 					}
 				}
 				if touchesMoved && touchesOther {
-					res.NodeWork[coordinator(parts, sol.K, gi)] += cfg.DualRouteWork
+					res.NodeWork[coordinator(&parts, sol.K, gi)] += cfg.DualRouteWork
 					txnWork += cfg.DualRouteWork
 					res.DualRouted++
 					cDriftDual.Inc()

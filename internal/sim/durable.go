@@ -519,8 +519,7 @@ func runChaosDurable(ctx context.Context, d *db.DB, sol *partition.Solution, tr 
 
 	var nextTxn uint64          // monotonically increasing per-attempt txn id
 	var committedOps [][]partOp // committed write effects, in commit order
-	for i := range tr.Txns {
-		t := &tr.Txns[i]
+	for i, t := range tr.All() {
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, sol.K, i)
 		traceID := obs.TxnID(seed, i)

@@ -17,7 +17,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/db"
 	"repro/internal/eval"
@@ -99,8 +98,8 @@ func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Resul
 		return nil, err
 	}
 	res := &Result{Nodes: sol.K, NodeWork: make([]float64, sol.K)}
-	for i := range tr.Txns {
-		parts, writesReplicated, allPlaced := a.TxnPartitions(&tr.Txns[i])
+	for i, t := range tr.All() {
+		parts, writesReplicated, allPlaced := a.TxnPartitions(t)
 		switch {
 		case writesReplicated || !allPlaced:
 			// Spans every node: coordinator plus k participants.
@@ -108,16 +107,16 @@ func Run(d *db.DB, sol *partition.Solution, tr *trace.Trace, cfg Config) (*Resul
 			for n := 0; n < sol.K; n++ {
 				res.NodeWork[n] += cfg.ParticipantWork
 			}
-			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.CoordWork
-		case len(parts) <= 1:
+			res.NodeWork[coordinator(&parts, sol.K, i)] += cfg.CoordWork
+		case parts.Len() <= 1:
 			res.Local++
-			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.LocalWork
+			res.NodeWork[coordinator(&parts, sol.K, i)] += cfg.LocalWork
 		default:
 			res.Distributed++
-			for n := range parts {
+			parts.ForEach(func(n int) {
 				res.NodeWork[n] += cfg.ParticipantWork
-			}
-			res.NodeWork[coordinator(parts, sol.K, i)] += cfg.CoordWork
+			})
+			res.NodeWork[coordinator(&parts, sol.K, i)] += cfg.CoordWork
 		}
 	}
 	cSimRuns.Inc()
@@ -163,16 +162,11 @@ func finalize(res *Result, traceLen int, cfg Config) {
 // coordinator picks a deterministic coordinator: the lowest participating
 // partition. Fully-replicated reads have no participant constraint — any
 // node can serve them — so they round-robin by transaction index.
-func coordinator(parts map[int]bool, k, txnIndex int) int {
-	if len(parts) == 0 {
-		return txnIndex % k
+func coordinator(parts *partition.Set, k, txnIndex int) int {
+	if m := parts.Min(); m >= 0 {
+		return m
 	}
-	ids := make([]int, 0, len(parts))
-	for p := range parts {
-		ids = append(ids, p)
-	}
-	sort.Ints(ids)
-	return ids[0]
+	return txnIndex % k
 }
 
 // Sweep simulates a solution-per-k factory across partition counts,

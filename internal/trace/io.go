@@ -32,8 +32,8 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
 	enc := json.NewEncoder(bw)
-	for i := range tr.Txns {
-		jt, err := toJSON(&tr.Txns[i])
+	for i := range tr.txns {
+		jt, err := toJSON(&tr.txns[i])
 		if err != nil {
 			return written, err
 		}
@@ -44,7 +44,7 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return written, err
 	}
-	obs.Add("trace.txns_written", int64(len(tr.Txns)))
+	obs.Add("trace.txns_written", int64(len(tr.txns)))
 	return written, nil
 }
 
@@ -56,7 +56,7 @@ func Read(r io.Reader) (*Trace, error) {
 		var jt txnJSON
 		if err := dec.Decode(&jt); err != nil {
 			if err == io.EOF {
-				obs.Add("trace.txns_read", int64(len(tr.Txns)))
+				obs.Add("trace.txns_read", int64(len(tr.txns)))
 				return tr, nil
 			}
 			return nil, fmt.Errorf("trace: decode: %w", err)
@@ -65,7 +65,7 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr.Txns = append(tr.Txns, *t)
+		tr.txns = append(tr.txns, *t)
 	}
 }
 

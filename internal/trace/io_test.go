@@ -12,7 +12,7 @@ import (
 // ioSampleTrace builds a trace exercising every serialized field: multiple
 // classes, parameters of each value kind, composite keys, and write flags.
 func ioSampleTrace() *Trace {
-	return &Trace{Txns: []Txn{
+	return &Trace{txns: []Txn{
 		{
 			ID:    0,
 			Class: "NewOrder",
@@ -59,8 +59,8 @@ func TestIORoundTripAllFields(t *testing.T) {
 	if got.Len() != want.Len() {
 		t.Fatalf("round trip length = %d, want %d", got.Len(), want.Len())
 	}
-	for i := range want.Txns {
-		w, g := &want.Txns[i], &got.Txns[i]
+	for i := range want.txns {
+		w, g := &want.txns[i], &got.txns[i]
 		if g.ID != w.ID || g.Class != w.Class {
 			t.Errorf("txn %d: got (%d, %q), want (%d, %q)", i, g.ID, g.Class, w.ID, w.Class)
 		}

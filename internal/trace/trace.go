@@ -1,13 +1,20 @@
 // Package trace models workload traces: per-transaction sets of accessed
 // tuples (paper Definition 1), the collector that records them while
-// stored procedures execute (§4, "collecting the workload trace"), and the
+// stored procedures execute (§4, "collecting the workload trace"), the
 // pre-processing operations JECB's Phase 1 performs — splitting the trace
-// into per-class streams and into training/testing halves (§7.1).
+// into per-class streams and into training/testing halves (§7.1) — and
+// two representations of the same workload: the row-oriented Trace
+// ([]Txn) and the columnar, interned Columnar/Stream forms the large-
+// trace paths run on.
+//
+// Consumers read traces through the cursor API (All, Class, At) shared by
+// every representation; see Workload.
 package trace
 
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 
@@ -38,6 +45,12 @@ type Txn struct {
 	Class    string
 	Params   map[string]value.Value
 	Accesses []Access
+
+	// tables caches the sorted distinct-table list Tables() computes.
+	// Drift detection and migration planning ask for it repeatedly per
+	// transaction; the cache assumes Accesses is not mutated after the
+	// first Tables() call (collection fills Accesses before anyone reads).
+	tables []string
 }
 
 // Writes reports whether the transaction wrote any tuple.
@@ -50,72 +63,150 @@ func (t *Txn) Writes() bool {
 	return false
 }
 
-// Tables returns the distinct tables the transaction touched.
+// Tables returns the distinct tables the transaction touched, sorted.
+// The result is cached on the transaction (and shared between calls):
+// callers must not mutate it, and must not mutate Accesses afterwards.
 func (t *Txn) Tables() []string {
-	seen := map[string]bool{}
-	var out []string
+	if t.tables != nil {
+		return t.tables
+	}
+	out := make([]string, 0, len(t.Accesses))
 	for _, a := range t.Accesses {
-		if !seen[a.Table] {
-			seen[a.Table] = true
-			out = append(out, a.Table)
-		}
+		out = append(out, a.Table)
 	}
 	sort.Strings(out)
-	return out
+	// Dedup in place.
+	w := 0
+	for i, tbl := range out {
+		if i == 0 || tbl != out[w-1] {
+			out[w] = tbl
+			w++
+		}
+	}
+	t.tables = out[:w]
+	return t.tables
 }
 
-// Trace is a bag of transactions (paper Definition 1's workload).
+// Trace is a bag of transactions (paper Definition 1's workload), stored
+// row-oriented. Build one with FromTxns, Append, or a Collector; read it
+// through the cursor API (All, Class, At) or the deprecated Txns
+// accessor. For large workloads prefer the columnar forms (Columnarize,
+// OpenColumnar), which implement the same cursor contract.
 type Trace struct {
-	Txns []Txn
+	txns []Txn
+
+	// cache holds the derived views (Classes, Mix, Stats), rebuilt
+	// whenever the transaction count changes. Drift detection asks for
+	// Mix on every window; before the cache each call re-counted and
+	// re-sorted the whole window.
+	cache traceCache
 }
+
+type traceCache struct {
+	n       int // len(txns) the cache was built at (n==0 means unbuilt)
+	classes []string
+	mix     map[string]float64
+	stats   map[string]*TableStats
+}
+
+// FromTxns wraps a transaction slice as a Trace, taking ownership of the
+// slice.
+func FromTxns(txns []Txn) *Trace { return &Trace{txns: txns} }
+
+// Txns returns the underlying transaction slice.
+//
+// Deprecated: walk the trace through All, Class or At instead — they are
+// implemented by every trace representation (row, columnar, streaming),
+// while Txns exists only on the materialized row form. Callers must not
+// grow the returned slice; use Append.
+func (tr *Trace) Txns() []Txn { return tr.txns }
+
+// Append adds transactions to the trace.
+func (tr *Trace) Append(txns ...Txn) { tr.txns = append(tr.txns, txns...) }
+
+// At returns the i-th transaction. The pointer stays valid until the
+// trace is appended to (sharded scans index the trace directly).
+func (tr *Trace) At(i int) *Txn { return &tr.txns[i] }
 
 // Len returns the number of transactions.
-func (tr *Trace) Len() int { return len(tr.Txns) }
+func (tr *Trace) Len() int { return len(tr.txns) }
 
-// Classes returns the distinct transaction class names, sorted.
-func (tr *Trace) Classes() []string {
-	seen := map[string]bool{}
-	var out []string
-	for i := range tr.Txns {
-		c := tr.Txns[i].Class
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
+// All returns a cursor over (index, transaction) in trace order. The
+// yielded pointers are stable for the row representation; see Workload
+// for the contract columnar representations add.
+func (tr *Trace) All() iter.Seq2[int, *Txn] {
+	return func(yield func(int, *Txn) bool) {
+		for i := range tr.txns {
+			if !yield(i, &tr.txns[i]) {
+				return
+			}
 		}
 	}
-	sort.Strings(out)
-	return out
 }
 
-// Mix returns each class's fraction of the workload.
-func (tr *Trace) Mix() map[string]float64 {
-	if len(tr.Txns) == 0 {
-		return nil
+// Class returns a cursor over the transactions of one class, in trace
+// order.
+func (tr *Trace) Class(class string) iter.Seq[*Txn] {
+	return func(yield func(*Txn) bool) {
+		for i := range tr.txns {
+			if tr.txns[i].Class != class {
+				continue
+			}
+			if !yield(&tr.txns[i]) {
+				return
+			}
+		}
+	}
+}
+
+// cached returns the derived-view cache, rebuilding it if the trace has
+// grown or shrunk since it was built.
+func (tr *Trace) cached() *traceCache {
+	if tr.cache.n == len(tr.txns) && tr.cache.classes != nil {
+		return &tr.cache
 	}
 	counts := map[string]int{}
-	for i := range tr.Txns {
-		counts[tr.Txns[i].Class]++
+	for i := range tr.txns {
+		counts[tr.txns[i].Class]++
 	}
-	out := make(map[string]float64, len(counts))
-	for c, n := range counts {
-		out[c] = float64(n) / float64(len(tr.Txns))
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
 	}
-	return out
+	sort.Strings(classes)
+	var mix map[string]float64
+	if len(tr.txns) > 0 {
+		mix = make(map[string]float64, len(counts))
+		for c, n := range counts {
+			mix[c] = float64(n) / float64(len(tr.txns))
+		}
+	}
+	tr.cache = traceCache{n: len(tr.txns), classes: classes, mix: mix}
+	return &tr.cache
 }
+
+// Classes returns the distinct transaction class names, sorted. The
+// slice is cached and shared between calls: callers must not mutate it.
+func (tr *Trace) Classes() []string { return tr.cached().classes }
+
+// Mix returns each class's fraction of the workload (nil for an empty
+// trace). The map is cached and shared between calls: callers must not
+// mutate it.
+func (tr *Trace) Mix() map[string]float64 { return tr.cached().mix }
 
 // Split partitions the trace into one homogeneous sub-trace per
 // transaction class (Phase 1, "splitting the trace into different
 // streams"). Transactions keep their order and identity.
 func (tr *Trace) Split() map[string]*Trace {
 	out := map[string]*Trace{}
-	for i := range tr.Txns {
-		c := tr.Txns[i].Class
+	for i := range tr.txns {
+		c := tr.txns[i].Class
 		sub, ok := out[c]
 		if !ok {
 			sub = &Trace{}
 			out[c] = sub
 		}
-		sub.Txns = append(sub.Txns, tr.Txns[i])
+		sub.txns = append(sub.txns, tr.txns[i])
 	}
 	return out
 }
@@ -128,14 +219,14 @@ func (tr *Trace) TrainTest(trainFrac float64, rng *rand.Rand) (train, test *Trac
 	if trainFrac < 0 || trainFrac > 1 {
 		panic(fmt.Sprintf("trace: bad training fraction %v", trainFrac))
 	}
-	perm := rng.Perm(len(tr.Txns))
-	n := int(float64(len(tr.Txns)) * trainFrac)
+	perm := rng.Perm(len(tr.txns))
+	n := int(float64(len(tr.txns)) * trainFrac)
 	train, test = &Trace{}, &Trace{}
 	for i, pi := range perm {
 		if i < n {
-			train.Txns = append(train.Txns, tr.Txns[pi])
+			train.txns = append(train.txns, tr.txns[pi])
 		} else {
-			test.Txns = append(test.Txns, tr.Txns[pi])
+			test.txns = append(test.txns, tr.txns[pi])
 		}
 	}
 	return train, test
@@ -145,10 +236,10 @@ func (tr *Trace) TrainTest(trainFrac float64, rng *rand.Rand) (train, test *Trac
 // them when n exceeds the length). Used to build coverage-limited
 // training sets.
 func (tr *Trace) Head(n int) *Trace {
-	if n > len(tr.Txns) {
-		n = len(tr.Txns)
+	if n > len(tr.txns) {
+		n = len(tr.txns)
 	}
-	return &Trace{Txns: tr.Txns[:n]}
+	return &Trace{txns: tr.txns[:n]}
 }
 
 // Window returns the sliding window of n transactions starting at index
@@ -158,19 +249,19 @@ func (tr *Trace) Head(n int) *Trace {
 // panic — window arithmetic is caller code, not external input.
 //
 // The drift detector consumes consecutive Window(i, n) slices of a live
-// trace; before this helper every caller re-sliced Txns ad hoc.
+// trace; before this helper every caller re-sliced the storage ad hoc.
 func (tr *Trace) Window(i, n int) *Trace {
 	if i < 0 || n < 0 {
 		panic(fmt.Sprintf("trace: Window(%d, %d) with negative argument", i, n))
 	}
-	if i >= len(tr.Txns) {
+	if i >= len(tr.txns) {
 		return &Trace{}
 	}
 	end := i + n
-	if end > len(tr.Txns) {
-		end = len(tr.Txns)
+	if end > len(tr.txns) {
+		end = len(tr.txns)
 	}
-	return &Trace{Txns: tr.Txns[i:end]}
+	return &Trace{txns: tr.txns[i:end]}
 }
 
 // NumWindows returns how many complete and partial windows of size n the
@@ -180,7 +271,7 @@ func (tr *Trace) NumWindows(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("trace: NumWindows(%d)", n))
 	}
-	return (len(tr.Txns) + n - 1) / n
+	return (len(tr.txns) + n - 1) / n
 }
 
 // Concat returns a new trace holding this trace's transactions followed
@@ -188,17 +279,17 @@ func (tr *Trace) NumWindows(n int) int {
 // into fresh storage, so the result is safe to append to without
 // aliasing the inputs; nil inputs are skipped.
 func (tr *Trace) Concat(others ...*Trace) *Trace {
-	total := len(tr.Txns)
+	total := len(tr.txns)
 	for _, o := range others {
 		if o != nil {
-			total += len(o.Txns)
+			total += len(o.txns)
 		}
 	}
-	out := &Trace{Txns: make([]Txn, 0, total)}
-	out.Txns = append(out.Txns, tr.Txns...)
+	out := &Trace{txns: make([]Txn, 0, total)}
+	out.txns = append(out.txns, tr.txns...)
 	for _, o := range others {
 		if o != nil {
-			out.Txns = append(out.Txns, o.Txns...)
+			out.txns = append(out.txns, o.txns...)
 		}
 	}
 	return out
@@ -222,8 +313,13 @@ func (s TableStats) WriteTxnFraction(totalTxns int) float64 {
 	return float64(s.WriteTxns) / float64(totalTxns)
 }
 
-// Stats computes per-table access statistics, keyed by table name.
+// Stats computes per-table access statistics, keyed by table name. The
+// map is cached and shared between calls: callers must not mutate it.
 func (tr *Trace) Stats() map[string]*TableStats {
+	c := tr.cached()
+	if c.stats != nil {
+		return c.stats
+	}
 	out := map[string]*TableStats{}
 	get := func(tbl string) *TableStats {
 		s, ok := out[tbl]
@@ -233,9 +329,9 @@ func (tr *Trace) Stats() map[string]*TableStats {
 		}
 		return s
 	}
-	for i := range tr.Txns {
+	for i := range tr.txns {
 		wrote := map[string]bool{}
-		for _, a := range tr.Txns[i].Accesses {
+		for _, a := range tr.txns[i].Accesses {
 			s := get(a.Table)
 			if a.Write {
 				s.Writes++
@@ -248,6 +344,7 @@ func (tr *Trace) Stats() map[string]*TableStats {
 			get(tbl).WriteTxns++
 		}
 	}
+	c.stats = out
 	return out
 }
 
@@ -324,4 +421,4 @@ func (c *Collector) Abort() {
 }
 
 // Trace returns the collected transactions.
-func (c *Collector) Trace() *Trace { return &Trace{Txns: c.done} }
+func (c *Collector) Trace() *Trace { return &Trace{txns: c.done} }

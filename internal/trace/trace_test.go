@@ -36,13 +36,13 @@ func TestCollectorBasics(t *testing.T) {
 	if got := tr.Classes(); !reflect.DeepEqual(got, []string{"A", "B"}) {
 		t.Errorf("classes = %v", got)
 	}
-	if tr.Txns[0].ID != 0 || tr.Txns[2].ID != 2 {
-		t.Errorf("ids = %d, %d", tr.Txns[0].ID, tr.Txns[2].ID)
+	if tr.txns[0].ID != 0 || tr.txns[2].ID != 2 {
+		t.Errorf("ids = %d, %d", tr.txns[0].ID, tr.txns[2].ID)
 	}
-	if !tr.Txns[0].Writes() || tr.Txns[1].Writes() {
+	if !tr.txns[0].Writes() || tr.txns[1].Writes() {
 		t.Error("Writes() wrong")
 	}
-	if got := tr.Txns[0].Tables(); !reflect.DeepEqual(got, []string{"T", "U"}) {
+	if got := tr.txns[0].Tables(); !reflect.DeepEqual(got, []string{"T", "U"}) {
 		t.Errorf("tables = %v", got)
 	}
 }
@@ -56,7 +56,7 @@ func TestCollectorDedupesAndUpgrades(t *testing.T) {
 	c.Read("T", key(2))
 	c.Commit()
 	tr := c.Trace()
-	accs := tr.Txns[0].Accesses
+	accs := tr.txns[0].Accesses
 	if len(accs) != 2 {
 		t.Fatalf("accesses = %v", accs)
 	}
@@ -76,8 +76,8 @@ func TestCollectorAbort(t *testing.T) {
 	c.Begin("B", nil)
 	c.Commit()
 	tr := c.Trace()
-	if tr.Len() != 1 || tr.Txns[0].Class != "B" || tr.Txns[0].ID != 0 {
-		t.Errorf("trace after abort = %+v", tr.Txns)
+	if tr.Len() != 1 || tr.txns[0].Class != "B" || tr.txns[0].ID != 0 {
+		t.Errorf("trace after abort = %+v", tr.txns)
 	}
 }
 
@@ -124,14 +124,14 @@ func TestMix(t *testing.T) {
 func TestTrainTest(t *testing.T) {
 	var tr Trace
 	for i := 0; i < 100; i++ {
-		tr.Txns = append(tr.Txns, Txn{ID: i, Class: "A"})
+		tr.txns = append(tr.txns, Txn{ID: i, Class: "A"})
 	}
 	train, test := tr.TrainTest(0.3, rand.New(rand.NewSource(1)))
 	if train.Len() != 30 || test.Len() != 70 {
 		t.Fatalf("split sizes = %d/%d", train.Len(), test.Len())
 	}
 	seen := map[int]bool{}
-	for _, x := range append(append([]Txn{}, train.Txns...), test.Txns...) {
+	for _, x := range append(append([]Txn{}, train.txns...), test.txns...) {
 		if seen[x.ID] {
 			t.Fatalf("txn %d appears twice", x.ID)
 		}
@@ -142,7 +142,7 @@ func TestTrainTest(t *testing.T) {
 	}
 	// Determinism.
 	train2, _ := tr.TrainTest(0.3, rand.New(rand.NewSource(1)))
-	if !reflect.DeepEqual(train.Txns, train2.Txns) {
+	if !reflect.DeepEqual(train.txns, train2.txns) {
 		t.Error("TrainTest must be deterministic for a fixed seed")
 	}
 	defer func() {
@@ -201,8 +201,8 @@ func TestIORoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(tr.Txns, got.Txns) {
-		t.Errorf("round trip mismatch:\n%+v\n%+v", tr.Txns, got.Txns)
+	if !reflect.DeepEqual(tr.txns, got.txns) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", tr.txns, got.txns)
 	}
 }
 
@@ -220,7 +220,7 @@ func TestIOCompositeStringKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(tr.Txns, got.Txns) {
+	if !reflect.DeepEqual(tr.txns, got.txns) {
 		t.Error("composite/string key round trip mismatch")
 	}
 }
@@ -262,7 +262,7 @@ func TestIORoundTripProperty(t *testing.T) {
 	f := func(gens []txnGen) bool {
 		tr := &Trace{}
 		for _, g := range gens {
-			tr.Txns = append(tr.Txns, Txn(g))
+			tr.txns = append(tr.txns, Txn(g))
 		}
 		var buf bytes.Buffer
 		if _, err := tr.WriteTo(&buf); err != nil {
@@ -272,10 +272,10 @@ func TestIORoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(got.Txns) != len(tr.Txns) {
+		if len(got.txns) != len(tr.txns) {
 			return false
 		}
-		return reflect.DeepEqual(tr.Txns, got.Txns) || len(tr.Txns) == 0
+		return reflect.DeepEqual(tr.txns, got.txns) || len(tr.txns) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -9,15 +9,15 @@ func windowFixture(n int) *Trace {
 		if i%3 == 0 {
 			class = "B"
 		}
-		tr.Txns = append(tr.Txns, Txn{ID: i, Class: class})
+		tr.txns = append(tr.txns, Txn{ID: i, Class: class})
 	}
 	return tr
 }
 
 func ids(tr *Trace) []int {
 	out := make([]int, 0, tr.Len())
-	for i := range tr.Txns {
-		out = append(out, tr.Txns[i].ID)
+	for i := range tr.txns {
+		out = append(out, tr.txns[i].ID)
 	}
 	return out
 }
@@ -29,7 +29,7 @@ func TestWindowBasic(t *testing.T) {
 		t.Fatalf("Window(3,4) = %v, want [3 4 5 6]", got)
 	}
 	// Windows share storage: no copy.
-	if &w.Txns[0] != &tr.Txns[3] {
+	if &w.txns[0] != &tr.txns[3] {
 		t.Fatal("Window should alias the underlying transactions")
 	}
 }
@@ -111,9 +111,9 @@ func TestConcat(t *testing.T) {
 		}
 	}
 	// The result owns its storage: appending must not clobber inputs.
-	got.Txns = append(got.Txns, Txn{ID: 99})
-	got.Txns[0].ID = 42
-	if a.Txns[0].ID != 0 {
+	got.txns = append(got.txns, Txn{ID: 99})
+	got.txns[0].ID = 42
+	if a.txns[0].ID != 0 {
 		t.Fatal("Concat aliased its input storage")
 	}
 }

@@ -231,32 +231,23 @@ func participants(a *eval.Assigner, t *trace.Txn, k, txnIndex int) (nodes []int,
 		for n := range nodes {
 			nodes[n] = n
 		}
-		return nodes, coordinatorOf(parts, k, txnIndex), true
-	case len(parts) == 0:
-		return nil, coordinatorOf(parts, k, txnIndex), false
-	case len(parts) == 1:
-		c := coordinatorOf(parts, k, txnIndex)
+		return nodes, coordinatorOf(&parts, k, txnIndex), true
+	case parts.Empty():
+		return nil, coordinatorOf(&parts, k, txnIndex), false
+	case parts.Len() == 1:
+		c := coordinatorOf(&parts, k, txnIndex)
 		return []int{c}, c, false
 	default:
-		nodes = make([]int, 0, len(parts))
-		for n := range parts {
-			nodes = append(nodes, n)
-		}
-		sort.Ints(nodes)
-		return nodes, coordinatorOf(parts, k, txnIndex), true
+		nodes = parts.AppendTo(make([]int, 0, parts.Len()))
+		return nodes, coordinatorOf(&parts, k, txnIndex), true
 	}
 }
 
-func coordinatorOf(parts map[int]bool, k, txnIndex int) int {
-	if len(parts) == 0 {
-		return txnIndex % k
+func coordinatorOf(parts *partition.Set, k, txnIndex int) int {
+	if m := parts.Min(); m >= 0 {
+		return m
 	}
-	ids := make([]int, 0, len(parts))
-	for p := range parts {
-		ids = append(ids, p)
-	}
-	sort.Ints(ids)
-	return ids[0]
+	return txnIndex % k
 }
 
 // cpState tracks one scripted crash point's qualifying-round counter.
@@ -484,8 +475,7 @@ func Run(ctx context.Context, d *db.DB, sol *partition.Solution, tr *trace.Trace
 
 	var nextTxn uint64
 	var committedOps [][]partOp
-	for i := range tr.Txns {
-		t := &tr.Txns[i]
+	for i, t := range tr.All() {
 		arrival := float64(i) / cfg.ArrivalRateTPS
 		nodes, coord, distributed := participants(a, t, k, i)
 		traceID := obs.TxnID(cfg.Seed, i)

@@ -70,7 +70,7 @@ func TestTraceGeneration(t *testing.T) {
 	}
 	// Every traced access must reference a live or just-deleted tuple of
 	// a known table.
-	for _, txn := range tr.Txns {
+	for _, txn := range tr.All() {
 		for _, acc := range txn.Accesses {
 			if d.Table(acc.Table) == nil {
 				t.Fatalf("unknown table %q in trace", acc.Table)

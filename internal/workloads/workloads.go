@@ -17,6 +17,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/sqlparse"
 	"repro/internal/trace"
+	"repro/internal/value"
 )
 
 // Config scales a benchmark's generated database. The zero value asks for
@@ -60,6 +61,40 @@ func Procedures(b Benchmark) []*sqlparse.Procedure {
 		out[i] = c.Proc
 	}
 	return out
+}
+
+// SeedTraceRows inserts a stub row (db.Table.EnsureKey) for every key a
+// trace accesses that does not exist in d, returning how many rows were
+// created. A captured trace references rows its own transactions
+// inserted mid-run; a database loaded fresh from Benchmark.Load does not
+// contain them, which would make those accesses unnavigable (and every
+// touching transaction spuriously distributed) during post-hoc training
+// and evaluation. Streaming workloads are read in one pass.
+func SeedTraceRows(d *db.DB, w trace.Workload) (int, error) {
+	created := 0
+	var firstErr error
+	for _, txn := range w.All() {
+		for _, a := range txn.Accesses {
+			t := d.Table(a.Table)
+			if t == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workloads: trace references unknown table %q", a.Table)
+				}
+				continue
+			}
+			ok, err := t.EnsureKey(value.Key(a.Key))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workloads: seed %s: %w", a.Table, err)
+				}
+				continue
+			}
+			if ok {
+				created++
+			}
+		}
+	}
+	return created, firstErr
 }
 
 // GenerateTrace runs n transactions drawn from the benchmark's mix

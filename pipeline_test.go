@@ -79,8 +79,8 @@ func TestFullPipelineRoundTrip(t *testing.T) {
 	}
 	single := 0
 	ctx := context.Background()
-	for i := range test.Txns {
-		dec, err := rt.Route(ctx, router.Request{Class: test.Txns[i].Class, Params: test.Txns[i].Params})
+	for _, txn := range test.All() {
+		dec, err := rt.Route(ctx, router.Request{Class: txn.Class, Params: txn.Params})
 		if err != nil {
 			t.Fatal(err)
 		}
